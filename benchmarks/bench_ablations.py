@@ -1,0 +1,62 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Not paper artifacts — these isolate the contribution of each
+incidental mechanism and the sensitivity to the two sizing choices
+(resume-buffer depth, retention-curve cadence matching).
+"""
+
+from repro.analysis import experiments as E
+
+
+def test_ablation_mechanisms(run_once, record_artifact):
+    """Full incidental vs no-SIMD / no-roll-forward / precise-backup."""
+    result = run_once(E.ablation_mechanisms)
+    record_artifact(result)
+    gains = result.data["gains"]
+    assert gains["full incidental"] > gains["no SIMD lanes"]
+    assert gains["full incidental"] > gains["precise backups"]
+    # With both headline mechanisms off, the executive degenerates to
+    # (approximately) the precise NVP baseline.
+    assert 0.8 <= gains["no SIMD + precise backups"] <= 1.3
+
+
+def test_ablation_buffer_capacity(run_once, record_artifact):
+    """Each resume-buffer entry buys additional SIMD width."""
+    result = run_once(E.ablation_buffer_capacity)
+    record_artifact(result)
+    gains = result.data["gains"]
+    capacities = sorted(gains)
+    for small, large in zip(capacities, capacities[1:]):
+        assert gains[large] >= gains[small] - 0.05
+
+
+def test_ablation_retention_scale(run_once, record_artifact):
+    """Cadence matching: longer retention costs more, protects quality."""
+    result = run_once(E.ablation_retention_scale)
+    record_artifact(result)
+    by_scale = result.data["by_scale"]
+    scales = sorted(by_scale)
+    # Backup energy rises monotonically with the stretch.
+    costs = [by_scale[s][1] for s in scales]
+    assert costs == sorted(costs)
+
+
+def test_ablation_harvester_sources(run_once, record_artifact):
+    """Extension: incidental gains generalise across ambient sources."""
+    result = run_once(E.ablation_harvester_sources)
+    record_artifact(result)
+    for source, gain in result.data["gains"].items():
+        assert gain > 1.5, source
+
+
+def test_ablation_recover_placement(run_once, record_artifact):
+    """Section 6: per-frame recover points for solar, inner-loop for RF."""
+    result = run_once(E.ablation_recover_placement)
+    record_artifact(result)
+    outcomes = result.data["outcomes"]
+    # RF: only inner-loop placement completes frames.
+    assert outcomes[("rf", "inner")][0] > outcomes[("rf", "frame")][0]
+    # Solar: frame placement completes comparably (within a frame or
+    # two) while avoiding the per-element mark overhead -> more FP.
+    assert outcomes[("solar", "frame")][0] >= outcomes[("solar", "inner")][0] - 2
+    assert outcomes[("solar", "frame")][1] >= outcomes[("solar", "inner")][1]

@@ -1,0 +1,27 @@
+"""Benchmarks for the dynamic-bitwidth studies: Figures 17-21."""
+
+from repro.analysis import experiments as E
+
+
+def test_fig18_bit_utilization(run_once, record_artifact):
+    """Figures 17-18: per-level utilisation of dynamic bitwidth."""
+    result = run_once(E.fig18_bit_utilization)
+    record_artifact(result)
+    for pid, util in result.data["utilization"].items():
+        assert util[0] > 0.5, f"profile {pid}"  # OFF dominates
+
+
+def test_fig20_dynamic_vs_fixed(run_once, record_artifact):
+    """Figures 19-20: dynamic [1..8] against the fixed 2-bit run."""
+    result = run_once(E.fig20_dynamic_vs_fixed)
+    record_artifact(result)
+    for gain in result.data["fp_gains"]:
+        assert 0.5 <= gain <= 1.5
+
+
+def test_fig21_minbits4(run_once, record_artifact):
+    """Figure 21: dynamic [4..8] beats the similar-quality fixed 7-bit."""
+    result = run_once(E.fig21_minbits4)
+    record_artifact(result)
+    for gain in result.data["fp_gains"]:
+        assert gain > 1.02

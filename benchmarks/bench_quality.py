@@ -1,0 +1,47 @@
+"""Benchmarks for the quality studies: Figures 11-14."""
+
+from repro.analysis import experiments as E
+
+
+def test_fig12_alu_quality(run_once, record_artifact):
+    """Figures 11-12: approximate-ALU bitwidth vs MSE/PSNR."""
+    result = run_once(E.fig12_alu_quality)
+    record_artifact(result)
+    data = result.data
+    assert data["median"][1][1] > 20.0
+    assert data["sobel"][2][1] < 25.0
+
+
+def test_fig14_memory_quality(run_once, record_artifact):
+    """Figures 13-14: approximate-memory bitwidth vs MSE/PSNR."""
+    result = run_once(E.fig14_memory_quality)
+    record_artifact(result)
+    alu = E.fig12_alu_quality(bits_list=(2,)).data
+    assert result.data["median"][2][0] > alu["median"][2][0]
+
+
+def test_visual_artifacts(run_once, record_artifact, tmp_path):
+    """Figures 11/13/26 are visual: archive inspectable PGM outputs."""
+    import pathlib
+
+    from repro.kernels import ApproxContext, create_kernel, test_scene
+    from repro.kernels.images import save_pgm
+
+    def _dump():
+        out_dir = pathlib.Path(__file__).parent / "results" / "images"
+        out_dir.mkdir(parents=True, exist_ok=True)
+        image = test_scene(64, "mixed", seed=7)
+        written = []
+        for name in ("sobel", "median", "integral"):
+            kernel = create_kernel(name)
+            save_pgm(kernel.run_exact(image), out_dir / f"{name}_baseline.pgm")
+            for bits in (4, 1):
+                out = kernel.run(image, ApproxContext(alu_bits=bits, seed=1))
+                save_pgm(out, out_dir / f"{name}_alu{bits}bit.pgm")
+                trunc = kernel.run(image, ApproxContext(mem_bits=bits, seed=1))
+                save_pgm(trunc, out_dir / f"{name}_mem{bits}bit.pgm")
+            written.append(name)
+        return written
+
+    written = run_once(_dump)
+    assert len(written) == 3

@@ -1,0 +1,34 @@
+"""Benchmarks for the backup-approximation studies: Figures 22-25."""
+
+from repro.analysis import experiments as E
+
+
+def test_fig22_retention_failures(run_once, record_artifact):
+    """Figure 22: per-bit retention failures for each policy."""
+    result = run_once(E.fig22_retention_failures)
+    record_artifact(result)
+    failures = result.data["failures"]
+    for policy in failures:
+        for pid, per_bit in failures[policy].items():
+            assert per_bit[0] >= per_bit[7]
+
+
+def test_fig24_quality_vs_policy(run_once, record_artifact):
+    """Figures 23-24: completed-frame quality under each policy."""
+    result = run_once(E.fig24_quality_vs_policy)
+    record_artifact(result)
+    quality = result.data["quality"]
+    # Linear and parabola track each other closely (paper Fig 24).
+    for pid in quality["linear"]:
+        lin_psnr = quality["linear"][pid][1]
+        par_psnr = quality["parabola"][pid][1]
+        assert abs(lin_psnr - par_psnr) < 10.0
+
+
+def test_fig25_fp_retention(run_once, record_artifact):
+    """Figure 25: FP gain from retention-shaped backups."""
+    result = run_once(E.fig25_fp_retention)
+    record_artifact(result)
+    for policy, gains in result.data["gains"].items():
+        for gain in gains:
+            assert 1.1 <= gain <= 1.8, policy

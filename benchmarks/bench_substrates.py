@@ -1,0 +1,40 @@
+"""Benchmarks for the substrate artifacts: Figures 2-5 and Section 2.2."""
+
+from repro.analysis import experiments as E
+
+
+def test_fig02_power_profiles(run_once, record_artifact):
+    """Figure 2: the five wristwatch power profiles."""
+    result = run_once(E.fig02_power_profiles)
+    record_artifact(result)
+    assert len(result.rows) == 5
+
+
+def test_fig03_outage_statistics(run_once, record_artifact):
+    """Figure 3: outage duration and frequency, profile 1."""
+    result = run_once(E.fig03_outage_statistics)
+    record_artifact(result)
+    assert result.data["count"] > 0
+
+
+def test_fig04_sttram_write(run_once, record_artifact):
+    """Figure 4: STT-RAM write current vs pulse width vs retention."""
+    result = run_once(E.fig04_sttram_write)
+    record_artifact(result)
+    assert 0.70 <= result.data["saving_1day_to_10ms"] <= 0.82
+
+
+def test_fig05_retention_shaping(run_once, record_artifact):
+    """Figure 5: the linear / log / parabola shaping curves."""
+    result = run_once(E.fig05_retention_shaping)
+    record_artifact(result)
+    rel = result.data["relative_energy"]
+    assert rel["log"] < rel["linear"] < rel["parabola"]
+
+
+def test_sec22_wait_compute(run_once, record_artifact):
+    """Section 2.2: NVP vs wait-compute on all five profiles."""
+    result = run_once(E.sec22_wait_compute)
+    record_artifact(result)
+    finite = [r for r in result.data["ratios"] if r != float("inf")]
+    assert all(r > 1.5 for r in finite)

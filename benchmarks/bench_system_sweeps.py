@@ -1,0 +1,29 @@
+"""Benchmarks for the system-level sweeps: Figures 9, 15, 16."""
+
+from repro.analysis import experiments as E
+
+
+def test_fig09_timing_behavior(run_once, record_artifact):
+    """Figure 9: system-on time of the four configurations."""
+    result = run_once(E.fig09_timing_behavior)
+    record_artifact(result)
+    on = result.data["on_fractions"]
+    assert on["4-SIMD NVP"] <= on["8-bit NVP"]
+    totals = result.data["total_progress"]
+    assert totals["incidental (a1,b) [2..8]"] == max(totals.values())
+
+
+def test_fig15_forward_progress(run_once, record_artifact):
+    """Figure 15: forward progress vs reliable bits, five profiles."""
+    result = run_once(E.fig15_forward_progress)
+    record_artifact(result)
+    for pid, series in result.data["fp"].items():
+        assert series[1] > 1.5 * series[8], f"profile {pid}"
+
+
+def test_fig16_backup_counts(run_once, record_artifact):
+    """Figure 16: backups vs reliable bits, five profiles."""
+    result = run_once(E.fig16_backup_counts)
+    record_artifact(result)
+    for pid, series in result.data["backups"].items():
+        assert series[1] < series[8], f"profile {pid}"

@@ -1,0 +1,41 @@
+"""Benchmark-harness fixtures.
+
+Each benchmark regenerates one paper artifact (figure or table) via its
+runner in :mod:`repro.analysis.experiments`, records the wall-clock via
+pytest-benchmark (single round — these are full experiments, not
+microbenchmarks), prints the regenerated table, and archives it under
+``benchmarks/results/`` so EXPERIMENTS.md can be audited against a run.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture()
+def record_artifact(request):
+    """Return a callback that prints and archives an ExperimentResult."""
+
+    def _record(result):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        table = result.as_table()
+        path = RESULTS_DIR / f"{result.experiment_id}.txt"
+        path.write_text(table + "\n")
+        print("\n" + table)
+        return result
+
+    return _record
+
+
+@pytest.fixture()
+def run_once(benchmark):
+    """Run an experiment exactly once under the benchmark timer."""
+
+    def _run(func, *args, **kwargs):
+        return benchmark.pedantic(
+            func, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return _run

@@ -1,0 +1,80 @@
+"""The programmer's QoS tuning loop (Section 8.6, Table 2).
+
+"The programmers should first decide the minbits to make the QoS above
+the QoS threshold, then reduce the minbits, and try to fine-tune the
+incidental backup policy and the recompute times to compensate the QoS
+loss."
+
+This example automates that debug-test-modify loop for one kernel: it
+sweeps minbits x backup policy x recompute passes, scores QoS and
+forward progress for each, and prints the frontier — ending at a tuned
+configuration like the paper's Table 2 rows.
+
+Run:  python examples/qos_tuning.py [kernel] [target_psnr]
+"""
+
+import sys
+
+from repro import simulate_fixed_bits
+from repro.analysis.reporting import format_table
+from repro.core.recompute import RecomputeAndCombine, schedule_from_trace
+from repro.energy import standard_profile
+from repro.kernels import create_kernel, test_scene
+from repro.nvm.retention import policy_by_name
+from repro.nvp.isa import KERNEL_MIXES
+from repro.nvp.isa import DEFAULT_MIX
+
+
+def main() -> None:
+    kernel_name = sys.argv[1] if len(sys.argv) > 1 else "median"
+    target_psnr = float(sys.argv[2]) if len(sys.argv) > 2 else 50.0
+    kernel = create_kernel(kernel_name)
+    image = test_scene(64, "mixed", seed=7)
+    trace = standard_profile(1)
+    mix = KERNEL_MIXES.get(kernel_name, DEFAULT_MIX)
+
+    rows = []
+    best = None
+    for minbits in (2, 3, 4, 6):
+        schedule = schedule_from_trace(trace, minbits, 8)
+        for passes in (1, 2, 3):
+            outcome = RecomputeAndCombine(kernel, minbits, 8, seed=9).run(
+                image, passes, schedule
+            )
+            quality = outcome.psnr_per_pass[-1]
+            for policy_name in ("linear", "log", "parabola"):
+                shaped = simulate_fixed_bits(
+                    trace, 8, policy=policy_by_name(policy_name), mix=mix
+                )
+                met = quality >= target_psnr
+                rows.append(
+                    (
+                        minbits,
+                        passes - 1,
+                        policy_name,
+                        round(quality, 1),
+                        shaped.forward_progress,
+                        met,
+                    )
+                )
+                if met and (best is None or shaped.forward_progress > best[4]):
+                    best = rows[-1]
+
+    print(f"QoS tuning for {kernel_name!r}, target PSNR {target_psnr:g} dB\n")
+    print(
+        format_table(
+            ("minbits", "recompute", "backup", "PSNR_dB", "FP", "met"), rows
+        )
+    )
+    if best is None:
+        print("\nNo configuration met the target; raise minbits or passes.")
+    else:
+        print(
+            f"\nTuned pick (Table 2 style): minbits={best[0]}, "
+            f"recompute {best[1]} times, backup={best[2]} "
+            f"-> {best[3]} dB at FP {best[4]}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Calibration harness: prints the shape metrics the paper pins down.
+
+Not part of the installed package — a development tool used to tune the
+jointly-calibrated constants (see DESIGN.md §5.3). Run:
+
+    python scripts/calibrate.py
+"""
+
+from repro.energy import standard_profile, outage_statistics
+from repro.nvm.sttram import STTRAMModel, RETENTION_ONE_DAY_S, RETENTION_10MS_S
+from repro.nvm.retention import LinearRetention, LogRetention, ParabolaRetention
+from repro.system import simulate_fixed_bits
+
+
+def main() -> None:
+    cell = STTRAMModel()
+    print("== STT-RAM ==")
+    print("  saving 1day->10ms (target ~0.77):",
+          round(cell.energy_saving_fraction(RETENTION_ONE_DAY_S, RETENTION_10MS_S), 3))
+    for P in (LinearRetention(), LogRetention(), ParabolaRetention()):
+        print(f"  {P.name:9s} rel energy: {P.relative_write_energy(cell):.3f}")
+
+    print("== Traces (target: mean 10-40uW, 1000-2000 emergencies/10s) ==")
+    traces = {}
+    for pid in (1, 2, 3, 4, 5):
+        tr = standard_profile(pid, duration_s=10.0)
+        traces[pid] = tr
+        st = outage_statistics(tr)
+        print(f"  profile {pid}: mean={tr.mean_power_uw:5.1f}uW "
+              f"emergencies={st.count:5d} maxout={st.max_duration_ticks:5d} "
+              f"medout={st.median_duration_ticks:5.0f}")
+
+    print("== Fixed-bit sweep (targets: FP(1)/FP(8)~2.0, backups(1)/backups(8)~0.55,")
+    print("   backup share(8bit) in [0.20,0.33], backups(8bit) in [200,1500]) ==")
+    for pid in (1, 2, 3):
+        results = {}
+        for bits in (8, 4, 2, 1):
+            results[bits] = simulate_fixed_bits(traces[pid], bits)
+        r8, r1 = results[8], results[1]
+        print(f"  profile {pid}: FP8={r8.forward_progress:6d} "
+              f"FPratio={r1.forward_progress / max(1, r8.forward_progress):.2f} "
+              f"bk8={r8.backup_count:4d} bkratio={r1.backup_count / max(1, r8.backup_count):.2f} "
+              f"share8={r8.backup_energy_share:.2f} on8={r8.system_on_fraction:.2f} "
+              f"on1={r1.system_on_fraction:.2f}")
+
+    print("== Retention-shaped backups at 8 bits (target FP gain 1.4-1.6x, log>=lin>=par) ==")
+    for pid in (1, 2, 3):
+        base = simulate_fixed_bits(traces[pid], 8)
+        row = [f"profile {pid}:"]
+        for P in (LinearRetention(), LogRetention(), ParabolaRetention()):
+            r = simulate_fixed_bits(traces[pid], 8, policy=P)
+            row.append(f"{P.name}={r.forward_progress / max(1, base.forward_progress):.2f}x")
+        print("  " + " ".join(row))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim so legacy editable installs work offline.
+
+The environment has no ``wheel`` package, so PEP 517 editable installs
+fail; ``pip install -e . --no-use-pep517`` uses this file instead.
+All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,56 @@
+"""repro — Incidental Computing on IoT Nonvolatile Processors.
+
+A full-system behavioral reproduction of Ma et al., "Incidental
+Computing on IoT Nonvolatile Processors" (MICRO-50, 2017): an
+energy-harvesting substrate, an STT-RAM retention model, a behavioral
+8051-class nonvolatile processor, a two-layer system simulator, ten
+MiBench-class workload kernels with approximation hooks, and the
+paper's contribution — incidental roll-forward computing with
+approximate SIMD lanes, recompute-and-combine, and retention-shaped
+approximate backup.
+
+Quick start::
+
+    from repro import IncidentalExecutive, AnnotatedProgram
+    from repro.core.pragmas import IncidentalPragma, RecoverFromPragma
+    from repro.energy import standard_profile
+    from repro.kernels import MedianKernel, frame_sequence
+
+    program = AnnotatedProgram(MedianKernel(), [
+        IncidentalPragma("src", 2, 8, "linear"),
+        RecoverFromPragma("frame"),
+    ])
+    trace = standard_profile(1)
+    result = IncidentalExecutive(program, trace, frame_sequence(8, 32)).run()
+    print(result.sim.describe())
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+per-figure reproduction status.
+"""
+
+from .errors import ReproError
+from .core import (
+    AnnotatedProgram,
+    IncidentalExecutive,
+    ExecutiveResult,
+    RecomputeAndCombine,
+)
+from .energy import PowerTrace, standard_profile, standard_profiles
+from .system import NVPSystemSimulator, SimulationResult, simulate_fixed_bits
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "AnnotatedProgram",
+    "IncidentalExecutive",
+    "ExecutiveResult",
+    "RecomputeAndCombine",
+    "PowerTrace",
+    "standard_profile",
+    "standard_profiles",
+    "NVPSystemSimulator",
+    "SimulationResult",
+    "simulate_fixed_bits",
+    "__version__",
+]

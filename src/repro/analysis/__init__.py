@@ -1,0 +1,20 @@
+"""Experiment runners and reporting.
+
+One runner per paper artifact (figure or table), each returning a
+structured result that the benchmark harness regenerates and
+EXPERIMENTS.md records. See DESIGN.md's experiment index for the
+mapping.
+"""
+
+from . import experiments
+from .reporting import format_table, format_series
+from .sweeps import QoSFrontier, SweepPoint, qos_frontier
+
+__all__ = [
+    "experiments",
+    "format_table",
+    "format_series",
+    "QoSFrontier",
+    "SweepPoint",
+    "qos_frontier",
+]

@@ -1,0 +1,135 @@
+"""Design-space sweeps: the programmer's tuning loop as a library.
+
+Section 8.6 frames incidental configuration as "a design space to play
+with through a debug-test-modify loop until the QoS reaches the minimum
+requirements". :func:`qos_frontier` automates one full loop: it sweeps
+``minbits`` x backup policy x recompute passes for a kernel against a
+QoS target on a given power profile, and returns every configuration
+scored by quality and forward progress, plus the best QoS-meeting pick
+(the paper's Table 2 row for that kernel).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from .._validation import check_positive
+from ..core.recompute import RecomputeAndCombine, schedule_from_trace
+from ..energy.traces import PowerTrace
+from ..errors import ConfigurationError
+from ..kernels.base import Kernel
+from ..kernels.images import test_scene
+from ..kernels.registry import kernel_mix
+from ..nvm.retention import STANDARD_POLICY_NAMES, policy_by_name
+from ..quality.qos import QoSTarget, TunedPolicy
+from ..system.simulator import simulate_fixed_bits
+
+__all__ = ["SweepPoint", "QoSFrontier", "qos_frontier"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One evaluated configuration of the tuning loop."""
+
+    minbits: int
+    recompute_passes: int
+    backup_policy: str
+    psnr_db: float
+    forward_progress: int
+    meets_target: bool
+
+
+@dataclass(frozen=True)
+class QoSFrontier:
+    """All sweep points plus the tuned (Table 2 style) pick."""
+
+    kernel: str
+    target: QoSTarget
+    points: Tuple[SweepPoint, ...]
+
+    @property
+    def feasible(self) -> Tuple[SweepPoint, ...]:
+        """Configurations that meet the QoS target."""
+        return tuple(p for p in self.points if p.meets_target)
+
+    @property
+    def best(self) -> Optional[SweepPoint]:
+        """Highest-FP feasible point; ``None`` if the target is unmet."""
+        feasible = self.feasible
+        if not feasible:
+            return None
+        return max(feasible, key=lambda p: p.forward_progress)
+
+    def tuned_policy(self) -> TunedPolicy:
+        """The pick as a :class:`TunedPolicy` row (raises if infeasible)."""
+        best = self.best
+        if best is None:
+            raise ConfigurationError(
+                f"no swept configuration meets the QoS target for {self.kernel!r}"
+            )
+        return TunedPolicy(
+            kernel=self.kernel,
+            target=self.target,
+            minbits=best.minbits,
+            recompute_passes=best.recompute_passes,
+            backup_policy=best.backup_policy,
+        )
+
+
+def qos_frontier(
+    kernel: Kernel,
+    target_psnr_db: float,
+    trace: PowerTrace,
+    minbits_values: Sequence[int] = (2, 3, 4, 6),
+    recompute_values: Sequence[int] = (0, 1, 2),
+    policies: Sequence[str] = STANDARD_POLICY_NAMES,
+    image_size: int = 64,
+    seed: int = 9,
+) -> QoSFrontier:
+    """Sweep the incidental design space for one kernel and QoS target.
+
+    Quality is measured by running the kernel at dynamic precision with
+    ``minbits`` as the floor and merging ``recompute_passes`` extra
+    passes (the full Section 8.5 pipeline); forward progress comes from
+    the 8-bit system simulation under each backup policy.
+    """
+    target = QoSTarget(min_psnr_db=check_positive(target_psnr_db, "target_psnr_db"))
+    image = test_scene(image_size, "mixed", seed=7)
+    mix = kernel_mix(kernel.name)
+    # The frontier evaluates *deployment* configurations, so schedules
+    # use the fine-tuned controller (aggressive surplus drawdown), like
+    # the paper's Table 2 tuning.
+    from ..core.controller import ApproximationControlUnit
+
+    tuned_control = ApproximationControlUnit(
+        comfort_fill=0.15, drawdown_horizon_ticks=12
+    )
+
+    # FP depends only on the backup policy; compute once per policy.
+    fp_by_policy = {
+        name: simulate_fixed_bits(
+            trace, 8, policy=policy_by_name(name), mix=mix
+        ).forward_progress
+        for name in policies
+    }
+
+    points: List[SweepPoint] = []
+    for minbits in minbits_values:
+        schedule = schedule_from_trace(trace, minbits, 8, control=tuned_control)
+        rac = RecomputeAndCombine(kernel, minbits, 8, seed=seed)
+        for passes in recompute_values:
+            outcome = rac.run(image, passes + 1, schedule)
+            quality = outcome.psnr_per_pass[-1]
+            for policy_name in policies:
+                points.append(
+                    SweepPoint(
+                        minbits=minbits,
+                        recompute_passes=passes,
+                        backup_policy=policy_name,
+                        psnr_db=quality,
+                        forward_progress=fp_by_policy[policy_name],
+                        meets_target=target.met_by_psnr(quality),
+                    )
+                )
+    return QoSFrontier(kernel=kernel.name, target=target, points=tuple(points))

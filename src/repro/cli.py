@@ -1,0 +1,155 @@
+"""Command-line interface: regenerate any paper artifact from a shell.
+
+Usage (also via ``python -m repro``):
+
+    repro-experiments list                 # all artifact ids
+    repro-experiments run fig28            # regenerate one artifact
+    repro-experiments run fig15 fig16      # several at once
+    repro-experiments run all              # everything (minutes)
+    repro-experiments profiles             # Figure 2 trace summaries
+    repro-experiments calibration          # the jointly-calibrated constants
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .analysis import experiments as E
+from .analysis.reporting import format_table
+
+__all__ = ["main", "EXPERIMENT_RUNNERS"]
+
+#: Artifact id -> zero-argument runner.
+EXPERIMENT_RUNNERS: Dict[str, Callable[[], "E.ExperimentResult"]] = {
+    "fig02": E.fig02_power_profiles,
+    "fig03": E.fig03_outage_statistics,
+    "fig04": E.fig04_sttram_write,
+    "fig05": E.fig05_retention_shaping,
+    "sec2.2": E.sec22_wait_compute,
+    "fig09": E.fig09_timing_behavior,
+    "fig12": E.fig12_alu_quality,
+    "fig14": E.fig14_memory_quality,
+    "fig15": E.fig15_forward_progress,
+    "fig16": E.fig16_backup_counts,
+    "fig18": E.fig18_bit_utilization,
+    "fig20": E.fig20_dynamic_vs_fixed,
+    "fig21": E.fig21_minbits4,
+    "fig22": E.fig22_retention_failures,
+    "fig24": E.fig24_quality_vs_policy,
+    "fig25": E.fig25_fp_retention,
+    "fig27": E.fig27_recomputation,
+    "table2": E.table2_qos,
+    "fig28": E.fig28_overall_gain,
+    "sec7": E.sec7_frame_rates,
+}
+
+
+def _cmd_list() -> int:
+    rows = []
+    for artifact_id, runner in EXPERIMENT_RUNNERS.items():
+        doc = (runner.__doc__ or "").strip().splitlines()[0]
+        rows.append((artifact_id, doc))
+    print(format_table(("artifact", "description"), rows))
+    return 0
+
+
+def _cmd_run(artifact_ids: Sequence[str]) -> int:
+    ids = list(artifact_ids)
+    if ids == ["all"]:
+        ids = list(EXPERIMENT_RUNNERS)
+    unknown = [a for a in ids if a not in EXPERIMENT_RUNNERS]
+    if unknown:
+        print(
+            f"unknown artifact(s): {', '.join(unknown)}; "
+            "run 'repro-experiments list'",
+            file=sys.stderr,
+        )
+        return 2
+    for artifact_id in ids:
+        result = EXPERIMENT_RUNNERS[artifact_id]()
+        print(result.as_table())
+        print()
+    return 0
+
+
+def _cmd_profiles() -> int:
+    from .energy import outage_statistics, standard_profiles
+
+    rows = []
+    for trace in standard_profiles():
+        stats = outage_statistics(trace)
+        rows.append(
+            (
+                trace.name,
+                round(trace.mean_power_uw, 1),
+                round(trace.peak_power_uw, 0),
+                round(trace.total_energy_uj, 1),
+                stats.count,
+                stats.max_duration_ticks,
+            )
+        )
+    print(
+        format_table(
+            ("profile", "mean_uW", "peak_uW", "energy_uJ", "emergencies", "max_outage"),
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_calibration() -> int:
+    from .nvm.retention import LinearRetention, LogRetention, ParabolaRetention
+    from .nvm.sttram import RETENTION_10MS_S, RETENTION_ONE_DAY_S, STTRAMModel
+    from .nvp.energy_model import EnergyModel
+    from .system.config import SystemConfig
+
+    model = EnergyModel()
+    cell = STTRAMModel()
+    config = SystemConfig()
+    rows = [
+        ("NVP power @ 8 bits, 1 lane (uW)", round(model.uniform_run_power_uw(8), 1)),
+        ("NVP power @ 1 bit, 1 lane (uW)", round(model.uniform_run_power_uw(1), 1)),
+        ("NVP power @ 4 lanes x 8 bits (uW)", round(model.uniform_run_power_uw(8, 4), 1)),
+        ("backup energy, precise (uJ)", model.backup_base_uj),
+        ("restore energy (uJ)", model.restore_base_uj),
+        ("capacitor (uJ)", config.capacitor_uj),
+        ("start fill fraction", config.start_fill_fraction),
+        (
+            "STT-RAM saving 1day->10ms",
+            round(cell.energy_saving_fraction(RETENTION_ONE_DAY_S, RETENTION_10MS_S), 3),
+        ),
+        ("rel. backup energy: linear", round(LinearRetention().relative_write_energy(cell), 3)),
+        ("rel. backup energy: log", round(LogRetention().relative_write_energy(cell), 3)),
+        ("rel. backup energy: parabola", round(ParabolaRetention().relative_write_energy(cell), 3)),
+    ]
+    print(format_table(("constant", "value"), rows))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``repro-experiments`` / ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate artifacts of the incidental-computing reproduction.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list every artifact id")
+    run = sub.add_parser("run", help="regenerate artifacts")
+    run.add_argument("artifacts", nargs="+", help="artifact ids, or 'all'")
+    sub.add_parser("profiles", help="summarise the five power profiles")
+    sub.add_parser("calibration", help="print the calibrated constants")
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args.artifacts)
+    if args.command == "profiles":
+        return _cmd_profiles()
+    return _cmd_calibration()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

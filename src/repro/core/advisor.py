@@ -1,0 +1,181 @@
+"""Power-profile-to-configuration mapping (Section 8.6).
+
+"We also suggest to employ linear incidental backup when average power
+is expected to be higher (e.g. scenarios akin to profiles 1, 4) and
+parabola when average power is low (e.g. profiles 2, 3, 5); preference
+for the logarithmic policy over linear/parabola is strongly
+kernel-specific. If the expected power characteristics are unknown, a
+lookup table or machine learning based mapping from the sampled power
+to configurations can be applied."
+
+This module implements both halves of that suggestion:
+
+* :class:`PolicyAdvisor` — the rule/lookup-table mapping, driven by
+  :class:`TraceFeatures` sampled from the power profile and by each
+  kernel's approximation-tolerance class;
+* :meth:`PolicyAdvisor.calibrate` — the "learning" mode: measure the
+  candidate retention policies on a sampled trace prefix and memoise
+  the winner per feature bucket, exactly the kind of sampled-power →
+  configuration table the paper sketches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from .._validation import check_positive
+from ..energy.outages import outage_statistics
+from ..energy.traces import OPERATING_THRESHOLD_UW, PowerTrace
+from ..errors import ConfigurationError
+from ..kernels.registry import KERNEL_NAMES
+from ..quality.qos import TABLE2_POLICIES, QoSTarget, TunedPolicy
+from ..system.simulator import simulate_fixed_bits
+from ..nvm.retention import policy_by_name
+
+__all__ = ["TraceFeatures", "PolicyAdvisor"]
+
+#: Approximation-tolerance classes of the suite (from the Figures 12/14
+#: quality study): tolerant kernels can push minbits low; fragile ones
+#: must not.
+KERNEL_TOLERANCE: Dict[str, str] = {
+    "integral": "tolerant",
+    "median": "moderate",
+    "tiff2bw": "tolerant",
+    "tiff2rgba": "tolerant",
+    "susan_smoothing": "moderate",
+    "susan_edges": "fragile",
+    "susan_corners": "fragile",
+    "jpeg_encode": "moderate",
+    "fft": "moderate",
+    "sobel": "fragile",
+    # Extension workload (not in the Figure 28 suite).
+    "template_match": "moderate",
+}
+
+_MINBITS_BY_TOLERANCE = {"tolerant": 2, "moderate": 3, "fragile": 4}
+
+
+@dataclass(frozen=True)
+class TraceFeatures:
+    """The sampled-power features the advisor's table is keyed on."""
+
+    mean_power_uw: float
+    burst_fraction: float
+    median_outage_ticks: float
+    emergencies_per_10s: float
+
+    @classmethod
+    def from_trace(cls, trace: PowerTrace) -> "TraceFeatures":
+        """Sample the features of a (prefix of a) power trace."""
+        stats = outage_statistics(trace)
+        return cls(
+            mean_power_uw=trace.mean_power_uw,
+            burst_fraction=trace.fraction_above(OPERATING_THRESHOLD_UW),
+            median_outage_ticks=stats.median_duration_ticks,
+            emergencies_per_10s=stats.emergencies_per_window(10.0),
+        )
+
+    @property
+    def energy_class(self) -> str:
+        """'high' for energetic profiles (1/4-like), 'low' otherwise."""
+        return "high" if self.mean_power_uw >= 30.0 else "low"
+
+
+class PolicyAdvisor:
+    """Maps sampled power + kernel to a tuned incidental configuration.
+
+    Parameters
+    ----------
+    high_power_threshold_uw:
+        Mean-power boundary between the "profiles 1, 4"-like regime
+        (linear backup) and the "profiles 2, 3, 5"-like regime
+        (parabola backup).
+    """
+
+    def __init__(self, high_power_threshold_uw: float = 30.0) -> None:
+        self.high_power_threshold_uw = check_positive(
+            high_power_threshold_uw, "high_power_threshold_uw"
+        )
+        # energy_class -> measured-best policy name (filled by calibrate).
+        self._learned: Dict[str, str] = {}
+
+    # -- the lookup-table mapping -----------------------------------------
+
+    def backup_policy_for(self, features: TraceFeatures) -> str:
+        """Section 8.6's rule, unless a calibrated entry overrides it."""
+        energy_class = (
+            "high"
+            if features.mean_power_uw >= self.high_power_threshold_uw
+            else "low"
+        )
+        if energy_class in self._learned:
+            return self._learned[energy_class]
+        return "linear" if energy_class == "high" else "parabola"
+
+    def minbits_for(self, kernel_name: str) -> int:
+        """Tolerance-class minbits (Table 2 rows override when present)."""
+        if kernel_name in TABLE2_POLICIES:
+            return TABLE2_POLICIES[kernel_name].minbits
+        try:
+            tolerance = KERNEL_TOLERANCE[kernel_name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown kernel {kernel_name!r}; expected one of {sorted(KERNEL_NAMES)}"
+            ) from None
+        return _MINBITS_BY_TOLERANCE[tolerance]
+
+    def advise(self, trace: PowerTrace, kernel_name: str) -> TunedPolicy:
+        """A full tuned configuration for running ``kernel_name`` on
+        power shaped like ``trace``."""
+        features = TraceFeatures.from_trace(trace)
+        if kernel_name in TABLE2_POLICIES:
+            base = TABLE2_POLICIES[kernel_name]
+            target: QoSTarget = base.target
+            recompute = base.recompute_passes
+        else:
+            tolerance = KERNEL_TOLERANCE.get(kernel_name, "moderate")
+            target = QoSTarget(min_psnr_db={"tolerant": 20.0, "moderate": 30.0, "fragile": 20.0}[tolerance])
+            recompute = 2 if tolerance == "fragile" else 0
+        return TunedPolicy(
+            kernel=kernel_name,
+            target=target,
+            minbits=self.minbits_for(kernel_name),
+            recompute_passes=recompute,
+            backup_policy=self.backup_policy_for(features),
+        )
+
+    # -- the learned mapping ------------------------------------------------
+
+    def calibrate(
+        self,
+        trace: PowerTrace,
+        sample_ticks: int = 10_000,
+        candidates: Tuple[str, ...] = ("linear", "log", "parabola"),
+    ) -> str:
+        """Measure the candidate policies on a trace prefix; memoise.
+
+        Runs the 8-bit NVP under each candidate backup policy over the
+        first ``sample_ticks`` of the trace and records the
+        best-forward-progress policy for this trace's energy class —
+        the paper's "mapping from the sampled power to configurations",
+        built from samples instead of rules.
+        """
+        if sample_ticks < 100:
+            raise ConfigurationError("sample_ticks must cover at least 100 ticks")
+        prefix = trace.segment(0, min(sample_ticks, len(trace)))
+        features = TraceFeatures.from_trace(prefix)
+        best_policy: Optional[str] = None
+        best_fp = -1
+        for name in candidates:
+            result = simulate_fixed_bits(prefix, 8, policy=policy_by_name(name))
+            if result.forward_progress > best_fp:
+                best_fp = result.forward_progress
+                best_policy = name
+        self._learned[features.energy_class] = best_policy
+        return best_policy
+
+    @property
+    def learned_table(self) -> Dict[str, str]:
+        """The calibrated energy-class -> policy lookup table (copy)."""
+        return dict(self._learned)

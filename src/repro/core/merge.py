@@ -1,0 +1,78 @@
+"""``assemble`` merge semantics (Table 1, Section 4).
+
+Combines a newly (re)computed buffer with the previously stored one,
+under one of the four modes the multi-version memory implements:
+
+* ``sum``        — saturating element-wise sum;
+* ``max`` / ``min`` — element-wise extreme;
+* ``higherbits`` — "the results computed with higher bits cover the
+  results of the lower bits": per element, whichever version carries
+  more precision metadata wins (ties keep the old value).
+
+The function operates on plain arrays plus :class:`PrecisionMap`
+metadata; the hardware path through
+:meth:`repro.nvm.memory.VersionedNVMemory.merge_versions` implements
+the same semantics at the word level and is cross-checked in the test
+suite.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .._validation import check_choice
+from ..errors import MergeError
+from ..nvm.memory import MERGE_MODES
+from .precision import PrecisionMap
+
+__all__ = ["assemble_arrays"]
+
+
+def assemble_arrays(
+    old_values: np.ndarray,
+    old_precision: PrecisionMap,
+    new_values: np.ndarray,
+    new_precision: PrecisionMap,
+    mode: str,
+    word_bits: int = 8,
+) -> Tuple[np.ndarray, PrecisionMap]:
+    """Merge ``new`` into ``old``; returns ``(values, precision)``.
+
+    This is the software face of the ``assemble(buf, mode)`` pragma:
+    the controller halts execution, streams the region through the
+    memory's combination state machine, and leaves the merged values
+    plus updated precision metadata behind.
+    """
+    mode = check_choice(mode, "mode", MERGE_MODES, exc=MergeError)
+    old_values = np.asarray(old_values, dtype=np.int64)
+    new_values = np.asarray(new_values, dtype=np.int64)
+    if old_values.shape != new_values.shape:
+        raise MergeError(
+            f"buffer shape mismatch: {old_values.shape} vs {new_values.shape}"
+        )
+    if old_precision.shape != old_values.shape or new_precision.shape != new_values.shape:
+        raise MergeError("precision maps must match their buffers")
+
+    max_value = (1 << word_bits) - 1
+    old_bits = old_precision.bits
+    new_bits = new_precision.bits
+
+    if mode == "sum":
+        merged = np.clip(old_values + new_values, 0, max_value)
+        merged_bits = np.minimum(old_bits, new_bits)
+    elif mode == "max":
+        take_new = new_values > old_values
+        merged = np.where(take_new, new_values, old_values)
+        merged_bits = np.where(take_new, new_bits, old_bits)
+    elif mode == "min":
+        take_new = new_values < old_values
+        merged = np.where(take_new, new_values, old_values)
+        merged_bits = np.where(take_new, new_bits, old_bits)
+    else:  # higherbits
+        take_new = new_bits > old_bits
+        merged = np.where(take_new, new_values, old_values)
+        merged_bits = np.where(take_new, new_bits, old_bits)
+
+    return merged, PrecisionMap.from_array(merged_bits, word_bits=word_bits)

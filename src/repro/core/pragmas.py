@@ -1,0 +1,171 @@
+"""The four ``#pragma ac`` annotations (Table 1, Section 5).
+
+=====================================  =========================================
+Pragma                                 Meaning
+=====================================  =========================================
+``incidental(src, minbits, maxbits,    variable ``src`` may be computed with a
+policy)``                              dynamic bit budget in [minbits, maxbits]
+                                       and backed up under retention ``policy``
+``incidental_recover_from(variable)``  fixed roll-forward restart point (an
+                                       induction variable of the frame loop)
+``recompute(buf, minbits)``            force a recomputation pass over ``buf``
+                                       with at least ``minbits`` precision
+``assemble(buf, mode)``                merge the new ``buf`` contents with the
+                                       previous (sum / max / min / higherbits)
+=====================================  =========================================
+
+Pragmas can be built programmatically or parsed from their C source
+form (``#pragma ac incidental (src,2,8,linear);``) — the latter keeps
+example programs readable next to the paper's Figure 8.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from .._validation import check_int_in_range
+from ..errors import PragmaError
+from ..nvm.memory import MERGE_MODES
+from ..nvm.retention import STANDARD_POLICY_NAMES
+
+__all__ = [
+    "IncidentalPragma",
+    "RecoverFromPragma",
+    "RecomputePragma",
+    "AssemblePragma",
+    "parse_pragma",
+]
+
+_IDENT = r"[A-Za-z_][A-Za-z0-9_]*"
+
+
+@dataclass(frozen=True)
+class IncidentalPragma:
+    """``incidental(src, minbits, maxbits, policy)``."""
+
+    src: str
+    minbits: int
+    maxbits: int
+    policy: str
+
+    def __post_init__(self) -> None:
+        if not re.fullmatch(_IDENT, self.src):
+            raise PragmaError(f"invalid variable name {self.src!r}")
+        check_int_in_range(self.minbits, "minbits", 1, 8, exc=PragmaError)
+        check_int_in_range(self.maxbits, "maxbits", 1, 8, exc=PragmaError)
+        if self.minbits > self.maxbits:
+            raise PragmaError(
+                f"minbits ({self.minbits}) must not exceed maxbits ({self.maxbits})"
+            )
+        if self.policy not in STANDARD_POLICY_NAMES:
+            raise PragmaError(
+                f"unknown retention policy {self.policy!r}; "
+                f"expected one of {STANDARD_POLICY_NAMES}"
+            )
+
+    def source_form(self) -> str:
+        """The C-pragma text of this annotation."""
+        return (
+            f"#pragma ac incidental ({self.src},{self.minbits},"
+            f"{self.maxbits},{self.policy});"
+        )
+
+
+@dataclass(frozen=True)
+class RecoverFromPragma:
+    """``incidental_recover_from(variable)``."""
+
+    variable: str
+
+    def __post_init__(self) -> None:
+        if not re.fullmatch(_IDENT, self.variable):
+            raise PragmaError(f"invalid variable name {self.variable!r}")
+
+    def source_form(self) -> str:
+        """The C-pragma text of this annotation."""
+        return f"#pragma ac incidental_recover_from({self.variable});"
+
+
+@dataclass(frozen=True)
+class RecomputePragma:
+    """``recompute(buf, minbits)``."""
+
+    buf: str
+    minbits: int
+
+    def __post_init__(self) -> None:
+        if not re.fullmatch(_IDENT, self.buf):
+            raise PragmaError(f"invalid buffer name {self.buf!r}")
+        check_int_in_range(self.minbits, "minbits", 1, 8, exc=PragmaError)
+
+    def source_form(self) -> str:
+        """The C-pragma text of this annotation."""
+        return f"#pragma ac recompute({self.buf},{self.minbits});"
+
+
+@dataclass(frozen=True)
+class AssemblePragma:
+    """``assemble(buf, assemble_mode)``."""
+
+    buf: str
+    mode: str
+
+    def __post_init__(self) -> None:
+        if not re.fullmatch(_IDENT, self.buf):
+            raise PragmaError(f"invalid buffer name {self.buf!r}")
+        if self.mode not in MERGE_MODES:
+            raise PragmaError(
+                f"unknown assemble mode {self.mode!r}; expected one of {MERGE_MODES}"
+            )
+
+    def source_form(self) -> str:
+        """The C-pragma text of this annotation."""
+        return f"#pragma ac assemble({self.buf},{self.mode});"
+
+
+_PRAGMA_RE = re.compile(
+    r"^\s*#pragma\s+ac\s+(?P<name>incidental_recover_from|incidental|recompute|assemble)"
+    r"\s*\(\s*(?P<args>[^)]*)\s*\)\s*;?\s*$"
+)
+
+
+def parse_pragma(text: str):
+    """Parse one C-form pragma line into its dataclass.
+
+    >>> parse_pragma("#pragma ac incidental (src,2,8,linear);")
+    IncidentalPragma(src='src', minbits=2, maxbits=8, policy='linear')
+    """
+    match = _PRAGMA_RE.match(text)
+    if match is None:
+        raise PragmaError(f"not a valid '#pragma ac' line: {text!r}")
+    name = match.group("name")
+    args = [a.strip() for a in match.group("args").split(",") if a.strip()]
+
+    def _int(value: str, what: str) -> int:
+        try:
+            return int(value)
+        except ValueError:
+            raise PragmaError(f"{what} must be an integer, got {value!r}") from None
+
+    if name == "incidental":
+        if len(args) != 4:
+            raise PragmaError(f"incidental takes 4 arguments, got {len(args)}")
+        return IncidentalPragma(
+            src=args[0],
+            minbits=_int(args[1], "minbits"),
+            maxbits=_int(args[2], "maxbits"),
+            policy=args[3],
+        )
+    if name == "incidental_recover_from":
+        if len(args) != 1:
+            raise PragmaError("incidental_recover_from takes 1 argument")
+        return RecoverFromPragma(variable=args[0])
+    if name == "recompute":
+        if len(args) != 2:
+            raise PragmaError("recompute takes 2 arguments")
+        return RecomputePragma(buf=args[0], minbits=_int(args[1], "minbits"))
+    # assemble
+    if len(args) != 2:
+        raise PragmaError("assemble takes 2 arguments")
+    return AssemblePragma(buf=args[0], mode=args[1])

@@ -1,0 +1,94 @@
+"""Per-element precision metadata (Section 4).
+
+The incidental NVP attaches 3 precision bits to every data word per
+SIMD version, recording how many reliable bits the stored value was
+computed with. :class:`PrecisionMap` is the software image of that
+metadata for one output buffer: it accompanies every incidental result
+and is what the ``assemble`` merge consults in ``higherbits`` mode and
+what recompute-and-combine maximises over passes.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .._validation import check_int_in_range
+from ..errors import ReproError
+
+__all__ = ["PrecisionMap"]
+
+
+class PrecisionMap:
+    """Per-element reliable-bit counts for one buffer.
+
+    Values lie in ``[0, word_bits]``; 0 means "never computed". The
+    hardware stores 3 bits per element (values 0-7 encoding 1-8 plus a
+    never-written state); we keep the unencoded counts for clarity.
+    """
+
+    def __init__(self, shape: Tuple[int, ...], word_bits: int = 8) -> None:
+        self.word_bits = check_int_in_range(word_bits, "word_bits", 1, 32, exc=ReproError)
+        self._bits = np.zeros(shape, dtype=np.int8)
+
+    @classmethod
+    def from_array(cls, bits: np.ndarray, word_bits: int = 8) -> "PrecisionMap":
+        """Wrap an existing per-element bit array."""
+        bits = np.asarray(bits)
+        if not np.issubdtype(bits.dtype, np.integer):
+            raise ReproError("precision array must be integer")
+        if bits.size and (bits.min() < 0 or bits.max() > word_bits):
+            raise ReproError(f"precision values must lie in [0, {word_bits}]")
+        out = cls(bits.shape, word_bits=word_bits)
+        out._bits = bits.astype(np.int8)
+        return out
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        """Buffer shape."""
+        return self._bits.shape
+
+    @property
+    def bits(self) -> np.ndarray:
+        """The per-element reliable-bit counts (copy)."""
+        return self._bits.astype(np.int64)
+
+    def set_region(self, index, bits: int) -> None:
+        """Record that a region was computed with ``bits`` reliable bits."""
+        bits = check_int_in_range(bits, "bits", 0, self.word_bits, exc=ReproError)
+        self._bits[index] = bits
+
+    def coverage(self) -> float:
+        """Fraction of elements computed at least once."""
+        if self._bits.size == 0:
+            return 0.0
+        return float(np.mean(self._bits > 0))
+
+    def mean_bits(self) -> float:
+        """Mean precision over computed elements (0 when none)."""
+        computed = self._bits[self._bits > 0]
+        if computed.size == 0:
+            return 0.0
+        return float(computed.mean())
+
+    def better_than(self, other: "PrecisionMap") -> np.ndarray:
+        """Boolean mask where this map's precision beats ``other``'s."""
+        if self.shape != other.shape:
+            raise ReproError("precision maps must share a shape")
+        return self._bits > other._bits
+
+    def merged_max(self, other: "PrecisionMap") -> "PrecisionMap":
+        """Element-wise maximum of two maps (the post-assemble metadata)."""
+        if self.shape != other.shape:
+            raise ReproError("precision maps must share a shape")
+        return PrecisionMap.from_array(
+            np.maximum(self._bits, other._bits).astype(np.int64),
+            word_bits=self.word_bits,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"PrecisionMap(shape={self.shape}, coverage={self.coverage():.2f}, "
+            f"mean_bits={self.mean_bits():.2f})"
+        )

@@ -1,0 +1,172 @@
+"""Recompute-and-Combine (RAC, Sections 3.1 and 8.5).
+
+When a low-quality incidental output turns out to be "interesting",
+the program issues ``recompute(buf, minbits)`` passes: each pass
+re-runs the frame with whatever dynamic precision the power profile
+affords, and ``assemble(buf, higherbits)`` keeps, per element, the
+value computed with the most reliable bits so far. "After multiple
+recomputations and merges, we expect much better quality outputs" —
+with "little value in recomputation beyond four to five passes"
+(Figure 27).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .._validation import check_int_in_range
+from ..energy.traces import PowerTrace
+from ..errors import ConfigurationError
+from ..kernels.base import ApproxContext, Kernel
+from ..quality.metrics import mse as compute_mse
+from ..quality.metrics import psnr as compute_psnr
+from ..system.config import SystemConfig
+from ..system.simulator import NVPSystemSimulator
+from ..nvp.processor import NonvolatileProcessor
+from .controller import ApproximationControlUnit, DynamicBitAllocator
+from .merge import assemble_arrays
+from .precision import PrecisionMap
+
+__all__ = ["RecomputeOutcome", "RecomputeAndCombine", "schedule_from_trace"]
+
+
+def schedule_from_trace(
+    trace: PowerTrace,
+    minbits: int,
+    maxbits: int = 8,
+    config: Optional[SystemConfig] = None,
+    control: Optional["ApproximationControlUnit"] = None,
+) -> np.ndarray:
+    """Dynamic bit budgets of every powered tick under ``trace``.
+
+    Runs the dynamic-bitwidth allocator over the trace and returns the
+    bit series of active ticks — the raw material recomputation passes
+    consume element by element. Recomputation runs *incidentally*, so
+    its default budget is the lean incidental controller (income plus a
+    slow surplus drawdown), which makes high-precision elements rare in
+    any one pass — the iterative-improvement regime of Figure 27.
+    """
+    config = config if config is not None else SystemConfig()
+    if control is None:
+        control = ApproximationControlUnit(comfort_fill=0.3, drawdown_horizon_ticks=30)
+    allocator = DynamicBitAllocator(
+        minbits, maxbits, control=control, capacity_uj=config.capacitor_uj
+    )
+    processor = NonvolatileProcessor()
+    sim = NVPSystemSimulator(trace, processor, allocator, config=config).run()
+    series = sim.active_bit_series()
+    if series.size == 0:
+        raise ConfigurationError(
+            "the trace never powers the NVP; cannot derive a schedule"
+        )
+    return np.clip(series, minbits, maxbits)
+
+
+@dataclass(frozen=True)
+class RecomputeOutcome:
+    """Quality trajectory of a recompute-and-combine session."""
+
+    psnr_per_pass: Tuple[float, ...]
+    mse_per_pass: Tuple[float, ...]
+    final_output: np.ndarray
+    final_precision: PrecisionMap
+
+    @property
+    def passes(self) -> int:
+        """Number of passes performed."""
+        return len(self.psnr_per_pass)
+
+    def improvement_db(self) -> float:
+        """PSNR gained between the first and last pass."""
+        if not self.psnr_per_pass:
+            return 0.0
+        return self.psnr_per_pass[-1] - self.psnr_per_pass[0]
+
+
+class RecomputeAndCombine:
+    """Iterative dynamic-precision recomputation with higherbits merge.
+
+    Parameters
+    ----------
+    kernel:
+        The workload whose output is being refined.
+    minbits:
+        The ``recompute(buf, minbits)`` floor forced on every pass.
+    maxbits:
+        The pragma's upper bound.
+    seed:
+        Base seed; each pass perturbs it so the datapath noise (and
+        hence which elements happen to land high precision) varies
+        pass to pass — the "random variation in the input power
+        profile" the paper's method capitalises on.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        minbits: int,
+        maxbits: int = 8,
+        seed: int = 0,
+    ) -> None:
+        self.kernel = kernel
+        self.minbits = check_int_in_range(minbits, "minbits", 1, 8)
+        self.maxbits = check_int_in_range(maxbits, "maxbits", self.minbits, 8)
+        self.seed = int(seed)
+
+    def run(
+        self,
+        image: np.ndarray,
+        passes: int,
+        schedule: Sequence[int],
+    ) -> RecomputeOutcome:
+        """Perform ``passes`` recompute/assemble rounds over ``image``.
+
+        ``schedule`` is the powered-tick bit series (e.g. from
+        :func:`schedule_from_trace`); successive passes consume
+        successive windows of it, wrapping when exhausted.
+        """
+        passes = check_int_in_range(passes, "passes", 1, 64)
+        schedule = np.asarray(schedule, dtype=np.int64)
+        if schedule.ndim != 1 or schedule.size == 0:
+            raise ConfigurationError("schedule must be a non-empty 1-D bit series")
+        schedule = np.clip(schedule, self.minbits, self.maxbits)
+
+        image = np.asarray(image)
+        reference = self.kernel.run_exact(image)
+        n = int(np.prod(reference.shape))
+
+        merged: Optional[np.ndarray] = None
+        merged_precision = PrecisionMap(reference.shape)
+        psnrs: List[float] = []
+        mses: List[float] = []
+        for pass_index in range(passes):
+            offset = (pass_index * n) % schedule.size
+            window = np.take(
+                schedule, np.arange(offset, offset + n), mode="wrap"
+            )
+            ctx = ApproxContext(
+                alu_bits=window, mem_bits=8, seed=self.seed + 1013 * pass_index
+            )
+            output = self.kernel.run(image, ctx)
+            bits_map = PrecisionMap.from_array(
+                ctx.alu_bits_for(output.shape)
+                if isinstance(ctx.alu_bits, np.ndarray)
+                else np.full(output.shape, ctx.alu_bits, dtype=np.int64)
+            )
+            if merged is None:
+                merged, merged_precision = output, bits_map
+            else:
+                merged, merged_precision = assemble_arrays(
+                    merged, merged_precision, output, bits_map, mode="higherbits"
+                )
+            psnrs.append(compute_psnr(reference, merged))
+            mses.append(compute_mse(reference, merged))
+        return RecomputeOutcome(
+            psnr_per_pass=tuple(psnrs),
+            mse_per_pass=tuple(mses),
+            final_output=merged,
+            final_precision=merged_precision,
+        )

@@ -1,0 +1,108 @@
+"""Incidental SIMD matching (Section 4).
+
+"When incidental SIMD is enabled, the current PC is compared against
+stored resume-point PCs. If the current PC matches one of the stored
+PCs, the controller has the modified register file generate a
+bit-vector indicating which register values associated with the
+matching resume-point PC have values identical to the current register
+values. This vector is then combined with a compiler-generated mask.
+Once matches in both PC and the mask-indicated variables are observed,
+SIMD width is increased and the buffer storing the SIMDed resume-point
+PC is cleared."
+
+:class:`SimdMatcher` models exactly that handshake between the resume
+buffer, the multi-version register file's comparison circuits, and the
+compiler mask.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import ReproError
+from ..nvp.registers import MultiVersionRegisterFile
+from .resume_buffer import ResumePoint, ResumePointBuffer
+
+__all__ = ["SimdMatcher"]
+
+
+class SimdMatcher:
+    """PC + masked-register matching for SIMD lane adoption."""
+
+    def __init__(
+        self,
+        buffer: ResumePointBuffer,
+        registers: MultiVersionRegisterFile,
+        key_mask: np.ndarray,
+        max_width: int = 4,
+    ) -> None:
+        if max_width < 1 or max_width > 4:
+            raise ReproError("max_width must be 1-4")
+        key_mask = np.asarray(key_mask, dtype=bool)
+        if key_mask.shape != (registers.n_regs,):
+            raise ReproError(
+                f"key mask must have shape ({registers.n_regs},), got {key_mask.shape}"
+            )
+        self.buffer = buffer
+        self.registers = registers
+        self.key_mask = key_mask
+        self.max_width = max_width
+        self.adopted: List[ResumePoint] = []
+
+    @property
+    def simd_width(self) -> int:
+        """Current width: the live lane plus adopted incidental lanes."""
+        return 1 + len(self.adopted)
+
+    def try_widen(self, current_pc: int) -> Optional[ResumePoint]:
+        """Attempt one widening step at the current PC.
+
+        Returns the adopted resume point when PC and masked registers
+        both match, after clearing its buffer entry and ungating its
+        register version; returns ``None`` otherwise.
+        """
+        if self.simd_width >= self.max_width:
+            return None
+        entry = self.buffer.match_pc(current_pc)
+        if entry is None:
+            return None
+        if self.registers.is_gated(entry.register_version):
+            self.registers.power_on_version(entry.register_version)
+        if not self.registers.matches_current(entry.register_version, mask=self.key_mask):
+            # Key loop variables disagree: the old computation is not
+            # at a compatible point; leave it buffered and re-gate.
+            self.registers.power_off_version(entry.register_version)
+            return None
+        self.buffer.remove(entry)
+        self.adopted.append(entry)
+        return entry
+
+    def release(self, entry: ResumePoint, elements_done: int) -> None:
+        """Detach a lane (power failure or completion).
+
+        Unfinished lanes return to the resume buffer with updated
+        progress; finished ones just free their register version.
+        """
+        if entry not in self.adopted:
+            raise ReproError("entry is not an adopted lane")
+        self.adopted.remove(entry)
+        self.registers.power_off_version(entry.register_version)
+        if elements_done > entry.elements_done:
+            entry = ResumePoint(
+                pc=entry.pc,
+                frame_id=entry.frame_id,
+                elements_done=elements_done,
+                register_version=entry.register_version,
+            )
+        self.buffer.push(entry)
+
+    def release_all(self, progress: Optional[dict] = None) -> None:
+        """Detach every lane (backup path). ``progress`` maps frame_id
+        to elements_done at suspension time."""
+        for entry in list(self.adopted):
+            done = entry.elements_done
+            if progress is not None:
+                done = max(done, progress.get(entry.frame_id, done))
+            self.release(entry, done)

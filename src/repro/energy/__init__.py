@@ -1,0 +1,58 @@
+"""Energy-harvesting substrate.
+
+This subpackage models the power-provisioning front end of the paper's
+Figure 1 system diagram: ambient-energy harvesters, the AC-DC rectifier
+front end, storage capacitors, synthetic wristwatch power traces sampled
+at 0.1 ms (Figure 2), and power-outage statistics (Figure 3).
+
+Units used throughout the package:
+
+* power  — microwatts (µW)
+* energy — microjoules (µJ)
+* time   — seconds, or *ticks* of ``TICK_S`` = 0.1 ms (the paper's
+  power-profile sampling period)
+"""
+
+from .traces import (
+    TICK_S,
+    PowerTrace,
+    ProfileSpec,
+    STANDARD_PROFILE_IDS,
+    standard_profile,
+    standard_profiles,
+)
+from .harvester import (
+    HarvesterModel,
+    WristwatchRingHarvester,
+    SolarHarvester,
+    RFHarvester,
+    ThermalHarvester,
+)
+from .outages import Outage, OutageStatistics, find_outages, outage_statistics
+from .capacitor import Capacitor, StorageCapacitor
+from .frontend import RectifierFrontend, DualChannelFrontend
+from .management import ThresholdSet, derive_thresholds
+
+__all__ = [
+    "TICK_S",
+    "PowerTrace",
+    "ProfileSpec",
+    "STANDARD_PROFILE_IDS",
+    "standard_profile",
+    "standard_profiles",
+    "HarvesterModel",
+    "WristwatchRingHarvester",
+    "SolarHarvester",
+    "RFHarvester",
+    "ThermalHarvester",
+    "Outage",
+    "OutageStatistics",
+    "find_outages",
+    "outage_statistics",
+    "Capacitor",
+    "StorageCapacitor",
+    "RectifierFrontend",
+    "DualChannelFrontend",
+    "ThresholdSet",
+    "derive_thresholds",
+]

@@ -1,0 +1,104 @@
+"""Energy-management thresholds for the NVP state machine.
+
+The system-level simulator (Section 7 of the paper, derived from Ma et
+al. [30]) is configured with three thresholds over the stored capacitor
+energy:
+
+* **start threshold** — the NVP leaves the OFF state and restores only
+  when the capacitor holds enough energy to pay for the restore, to
+  reserve a guaranteed backup, and to run for at least a minimum burst
+  of cycles. A configuration that executes at higher power (wider SIMD,
+  more bits) therefore has a *higher* start threshold — this is exactly
+  the mechanism behind Figure 9's system-on-time ordering.
+
+* **backup threshold** — while running, if the stored energy falls to
+  the reserved backup energy (plus margin), a power emergency is
+  declared and the state is backed up with the remaining charge.
+
+* **restore energy** — the fixed cost of waking up and restoring
+  distributed state from NVM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .._validation import check_int_in_range, check_non_negative, check_positive
+from ..errors import ConfigurationError
+from .traces import TICK_S
+
+__all__ = ["ThresholdSet", "derive_thresholds"]
+
+
+@dataclass(frozen=True)
+class ThresholdSet:
+    """Capacitor-energy thresholds driving the OFF/RUN/BACKUP machine."""
+
+    start_energy_uj: float
+    backup_threshold_uj: float
+    backup_energy_uj: float
+    restore_energy_uj: float
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.backup_energy_uj, "backup_energy_uj")
+        check_non_negative(self.restore_energy_uj, "restore_energy_uj")
+        check_non_negative(self.backup_threshold_uj, "backup_threshold_uj")
+        check_non_negative(self.start_energy_uj, "start_energy_uj")
+        if self.backup_threshold_uj < self.backup_energy_uj:
+            raise ConfigurationError(
+                "backup_threshold_uj must reserve at least backup_energy_uj "
+                f"({self.backup_threshold_uj} < {self.backup_energy_uj})"
+            )
+        if self.start_energy_uj < self.backup_threshold_uj + self.restore_energy_uj:
+            raise ConfigurationError(
+                "start_energy_uj must cover restore cost plus backup reserve"
+            )
+
+    @property
+    def run_headroom_uj(self) -> float:
+        """Energy available for execution immediately after a start."""
+        return self.start_energy_uj - self.restore_energy_uj - self.backup_threshold_uj
+
+
+def derive_thresholds(
+    backup_energy_uj: float,
+    restore_energy_uj: float,
+    run_power_uw: float,
+    min_run_ticks: int = 20,
+    backup_margin: float = 0.25,
+) -> ThresholdSet:
+    """Derive a consistent :class:`ThresholdSet` for one configuration.
+
+    Parameters
+    ----------
+    backup_energy_uj:
+        Energy of one backup under the active retention policy. Cheaper
+        (approximate) backups directly lower both thresholds — the
+        paper's "if the energy reserves needed for backup are reduced,
+        fewer power emergencies may occur".
+    restore_energy_uj:
+        Energy of one restore operation.
+    run_power_uw:
+        Steady-state power draw of the configuration that will run
+        (bit-budget- and SIMD-width-dependent).
+    min_run_ticks:
+        Minimum guaranteed execution burst (in 0.1 ms ticks) after a
+        start, so the system does not thrash between restore and backup.
+    backup_margin:
+        Fractional safety margin added to the backup reserve.
+    """
+    backup = check_non_negative(backup_energy_uj, "backup_energy_uj")
+    restore = check_non_negative(restore_energy_uj, "restore_energy_uj")
+    power = check_positive(run_power_uw, "run_power_uw")
+    ticks = check_int_in_range(min_run_ticks, "min_run_ticks", 1)
+    margin = check_non_negative(backup_margin, "backup_margin")
+
+    backup_threshold = backup * (1.0 + margin)
+    run_budget = power * TICK_S * ticks
+    start = restore + backup_threshold + run_budget
+    return ThresholdSet(
+        start_energy_uj=start,
+        backup_threshold_uj=backup_threshold,
+        backup_energy_uj=backup,
+        restore_energy_uj=restore,
+    )

@@ -1,0 +1,71 @@
+"""Exception hierarchy for the incidental-computing reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch a single base class. The subclasses partition failures
+by subsystem in the same way the package itself is partitioned.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "TraceError",
+    "EnergyError",
+    "NVMError",
+    "RetentionPolicyError",
+    "ProcessorError",
+    "SimulationError",
+    "KernelError",
+    "PragmaError",
+    "MergeError",
+    "QualityError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class TraceError(ReproError, ValueError):
+    """A power trace is malformed (wrong shape, negative power, bad dt)."""
+
+
+class EnergyError(ReproError, ValueError):
+    """An energy-accounting invariant was violated (e.g. negative charge)."""
+
+
+class NVMError(ReproError, ValueError):
+    """Invalid operation on the nonvolatile-memory model."""
+
+
+class RetentionPolicyError(NVMError):
+    """Unknown or invalid retention-time shaping policy."""
+
+
+class ProcessorError(ReproError, ValueError):
+    """Invalid operation on the behavioral NVP model."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The system-level simulator reached an inconsistent state."""
+
+
+class KernelError(ReproError, ValueError):
+    """A workload kernel was given invalid inputs or configuration."""
+
+
+class PragmaError(ReproError, ValueError):
+    """A pragma annotation is malformed or applied inconsistently."""
+
+
+class MergeError(ReproError, ValueError):
+    """An ``assemble`` (merge) operation was invalid."""
+
+
+class QualityError(ReproError, ValueError):
+    """A quality-metric computation was given incompatible inputs."""

@@ -1,0 +1,49 @@
+"""Workload kernels.
+
+From-scratch implementations of the image-signal-processing and
+pattern-matching kernels the paper evaluates (MiBench-class: sobel,
+median, integral, the three SUSAN variants, JPEG encode with motion
+estimation, tiff2bw, tiff2rgba, FFT), each with hooks for the paper's
+two approximation mechanisms — the noisy-low-bits approximate ALU and
+the truncating approximate memory — and support for per-element dynamic
+bit schedules.
+"""
+
+from .base import ApproxContext, Kernel, exact_context
+from .images import test_scene, frame_sequence, rgb_scene, SCENE_KINDS, save_pgm, load_pgm
+from .sobel import SobelKernel
+from .median import MedianKernel
+from .integral import IntegralKernel
+from .susan import SusanSmoothingKernel, SusanEdgesKernel, SusanCornersKernel
+from .jpeg import JPEGEncodeKernel, JPEGResult
+from .tiff import Tiff2BWKernel, Tiff2RGBAKernel
+from .fft import FFTKernel
+from .matching import TemplateMatchKernel
+from .registry import KERNEL_NAMES, create_kernel, all_kernels
+
+__all__ = [
+    "ApproxContext",
+    "Kernel",
+    "exact_context",
+    "test_scene",
+    "frame_sequence",
+    "rgb_scene",
+    "SCENE_KINDS",
+    "save_pgm",
+    "load_pgm",
+    "SobelKernel",
+    "MedianKernel",
+    "IntegralKernel",
+    "SusanSmoothingKernel",
+    "SusanEdgesKernel",
+    "SusanCornersKernel",
+    "JPEGEncodeKernel",
+    "JPEGResult",
+    "Tiff2BWKernel",
+    "Tiff2RGBAKernel",
+    "FFTKernel",
+    "TemplateMatchKernel",
+    "KERNEL_NAMES",
+    "create_kernel",
+    "all_kernels",
+]

@@ -1,0 +1,105 @@
+"""Template-matching kernel (extension workload).
+
+Section 2.1 motivates the evaluation with "more complex data processing
+like pattern matching and image processing"; the Figure 28 suite covers
+the image-processing side, and this kernel adds the pattern-matching
+side: sliding-window template matching by sum of absolute differences
+(the same SAD core as JPEG motion estimation, scaled up to a detection
+map).
+
+Output: a response map in [0, 255] where 255 marks a perfect template
+match — directly usable by the incidental executive like any other
+frame kernel. Approximation enters through the SAD operands (approximate
+subtractors), so low bit budgets blur the response map's peak without
+moving it far — the asymmetric recall/precision behaviour Section 6
+describes as the recomputation trigger.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .._validation import check_int_in_range
+from ..errors import KernelError
+from .base import ApproxContext, Kernel
+from .images import test_scene
+
+__all__ = ["TemplateMatchKernel"]
+
+
+class TemplateMatchKernel(Kernel):
+    """Sliding-window SAD template matching.
+
+    Parameters
+    ----------
+    template:
+        The pattern to find (small grayscale patch). Defaults to a
+        deterministic 6x6 corner-like patch.
+    stride:
+        Search stride; 1 evaluates every position.
+    """
+
+    name = "template_match"
+    # One SAD over the template per output element.
+    instructions_per_element = 120
+
+    def __init__(self, template: Optional[np.ndarray] = None, stride: int = 1) -> None:
+        if template is None:
+            patch = test_scene(8, "shapes", seed=5)[1:7, 1:7]
+            template = patch
+        template = np.asarray(template)
+        if template.ndim != 2 or min(template.shape) < 2:
+            raise KernelError("template must be a 2-D patch of at least 2x2")
+        if not np.issubdtype(template.dtype, np.integer):
+            raise KernelError("template must have an integer dtype")
+        self.template = template.astype(np.int64)
+        self.stride = check_int_in_range(stride, "stride", 1, 8, exc=KernelError)
+
+    def run(self, image: np.ndarray, ctx: ApproxContext) -> np.ndarray:
+        """Match-response map, same shape as the input.
+
+        Positions whose window falls off the image respond 0. Response
+        is ``255 - scaled_SAD``, clipped, so the best match is
+        brightest.
+        """
+        image = self._check_gray(image)
+        th, tw = self.template.shape
+        h, w = image.shape
+        if th > h or tw > w:
+            raise KernelError(
+                f"template {self.template.shape} larger than image {image.shape}"
+            )
+        loaded = ctx.load(image)
+        bits = ctx.alu_bits_for((h, w))
+        bits_arr = np.broadcast_to(np.asarray(bits), (h, w))
+
+        # SAD via the approximate datapath: both operands pass the
+        # noisy subtractor once per window, vectorised over positions
+        # by accumulating shifted differences.
+        out_h, out_w = h - th + 1, w - tw + 1
+        sad = np.zeros((out_h, out_w), dtype=np.int64)
+        noisy = ctx.alu.passthrough(loaded, bits_arr)
+        for dr in range(th):
+            for dc in range(tw):
+                window = noisy[dr : dr + out_h, dc : dc + out_w]
+                sad += np.abs(window - int(self.template[dr, dc]))
+        if self.stride > 1:
+            mask = np.zeros_like(sad, dtype=bool)
+            mask[:: self.stride, :: self.stride] = True
+            sad = np.where(mask, sad, sad.max(initial=0))
+
+        # Scale SAD into the byte range relative to the worst case.
+        worst = 255 * th * tw
+        response = 255 - (sad * 255) // max(1, worst // 4)
+        response = np.clip(response, 0, 255)
+        out = np.zeros((h, w), dtype=np.int64)
+        out[:out_h, :out_w] = response
+        return out
+
+    def best_match(self, response: np.ndarray):
+        """(row, col) of the strongest response in a map from :meth:`run`."""
+        response = np.asarray(response)
+        index = int(np.argmax(response))
+        return np.unravel_index(index, response.shape)

@@ -1,0 +1,77 @@
+"""Kernel registry: names, factories, and suite enumeration.
+
+The Figure 28 suite runs ten kernels; this registry maps each paper
+testbench name to its implementation and the instruction mix used for
+energy accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from ..errors import KernelError
+from ..nvp.isa import DEFAULT_MIX, KERNEL_MIXES, InstructionMix
+from .base import Kernel
+from .fft import FFTKernel
+from .integral import IntegralKernel
+from .jpeg import JPEGEncodeKernel
+from .median import MedianKernel
+from .sobel import SobelKernel
+from .susan import SusanCornersKernel, SusanEdgesKernel, SusanSmoothingKernel
+from .matching import TemplateMatchKernel
+from .tiff import Tiff2BWKernel, Tiff2RGBAKernel
+
+__all__ = ["KERNEL_NAMES", "create_kernel", "all_kernels", "kernel_mix"]
+
+_FACTORIES: Dict[str, Callable[[], Kernel]] = {
+    "sobel": SobelKernel,
+    "median": MedianKernel,
+    "integral": IntegralKernel,
+    "susan_corners": SusanCornersKernel,
+    "susan_edges": SusanEdgesKernel,
+    "susan_smoothing": SusanSmoothingKernel,
+    "jpeg_encode": JPEGEncodeKernel,
+    "tiff2bw": Tiff2BWKernel,
+    "tiff2rgba": Tiff2RGBAKernel,
+    "fft": FFTKernel,
+    # Extension workload (Section 2.1's "pattern matching"); not part
+    # of the Figure 28 suite.
+    "template_match": TemplateMatchKernel,
+}
+
+#: The Figure 28 testbench suite, in the paper's plotting order.
+KERNEL_NAMES: Tuple[str, ...] = (
+    "sobel",
+    "median",
+    "integral",
+    "susan_corners",
+    "susan_edges",
+    "susan_smoothing",
+    "jpeg_encode",
+    "tiff2bw",
+    "tiff2rgba",
+    "fft",
+)
+
+
+def create_kernel(name: str) -> Kernel:
+    """Instantiate a kernel by its registry name."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise KernelError(
+            f"unknown kernel {name!r}; available: {sorted(_FACTORIES)}"
+        ) from None
+    return factory()
+
+
+def all_kernels() -> List[Kernel]:
+    """Instantiate the whole Figure 28 suite in order."""
+    return [create_kernel(name) for name in KERNEL_NAMES]
+
+
+def kernel_mix(name: str) -> InstructionMix:
+    """Instruction mix of a kernel (default mix when not profiled)."""
+    if name not in _FACTORIES:
+        raise KernelError(f"unknown kernel {name!r}")
+    return KERNEL_MIXES.get(name, DEFAULT_MIX)

@@ -1,0 +1,119 @@
+"""SUSAN smoothing, edge and corner kernels (MiBench `susan`).
+
+SUSAN (Smallest Univalue Segment Assimilating Nucleus) compares each
+pixel's neighbourhood against the centre ("nucleus") with a brightness
+threshold: neighbours within the threshold form the USAN area. The
+three MiBench variants share that core:
+
+* **smoothing** — average of the similar neighbours (structure-
+  preserving blur);
+* **edges**     — edge strength ``max(0, g - usan_area)`` with the
+  geometric threshold ``g`` at 3/4 of the maximum area;
+* **corners**   — corner strength with the tighter ``g`` at 1/2 of the
+  maximum area.
+
+The brightness *differences* run through the approximate datapath
+(like sobel), but the downstream use is a threshold *count* (like
+median's ranks), which buffers some of the noise — putting the SUSAN
+kernels' approximation tolerance between sobel's and median's, as the
+per-kernel spread of Figure 28 reflects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_int_in_range
+from ..errors import KernelError
+from .base import ApproxContext, Kernel
+
+__all__ = ["SusanSmoothingKernel", "SusanEdgesKernel", "SusanCornersKernel"]
+
+
+class _SusanBase(Kernel):
+    """Shared USAN machinery for the three SUSAN variants."""
+
+    #: 5x5 pseudo-circular mask offsets (the classic 37-pixel SUSAN
+    #: mask trimmed to a 24-neighbour disk for the 8051's loop budget).
+    _OFFSETS = [
+        (dr, dc)
+        for dr in range(-2, 3)
+        for dc in range(-2, 3)
+        if (dr, dc) != (0, 0) and dr * dr + dc * dc <= 5
+    ]
+
+    def __init__(self, brightness_threshold: int = 20) -> None:
+        self.brightness_threshold = check_int_in_range(
+            brightness_threshold, "brightness_threshold", 1, 255, exc=KernelError
+        )
+
+    def _usan(self, image: np.ndarray, ctx: ApproxContext):
+        """Return (similar_mask_stack, neighbour_stack, usan_area)."""
+        loaded = ctx.load(image)
+        padded = np.pad(loaded, 2, mode="edge")
+        h, w = loaded.shape
+        nucleus = ctx.alu_result(loaded)
+        bits = ctx.alu_bits_for((h, w))
+
+        neighbours = np.empty((len(self._OFFSETS), h, w), dtype=np.int64)
+        similar = np.empty((len(self._OFFSETS), h, w), dtype=bool)
+        for k, (dr, dc) in enumerate(self._OFFSETS):
+            window = padded[2 + dr : 2 + dr + h, 2 + dc : 2 + dc + w]
+            neighbours[k] = window
+            # |I(r) - I(r0)| computed by the approximate subtractor.
+            diff = np.abs(ctx.alu.passthrough(window, bits) - nucleus)
+            similar[k] = diff <= self.brightness_threshold
+        usan_area = similar.sum(axis=0)
+        return similar, neighbours, usan_area
+
+    @property
+    def max_area(self) -> int:
+        """Largest possible USAN area (all neighbours similar)."""
+        return len(self._OFFSETS)
+
+
+class SusanSmoothingKernel(_SusanBase):
+    """SUSAN structure-preserving smoothing."""
+
+    name = "susan_smoothing"
+    instructions_per_element = 96
+
+    def run(self, image: np.ndarray, ctx: ApproxContext) -> np.ndarray:
+        """Average of USAN (similar) neighbours; centre kept when alone."""
+        image = self._check_gray(image)
+        similar, neighbours, usan_area = self._usan(image, ctx)
+        sums = (neighbours * similar).sum(axis=0)
+        out = np.where(usan_area > 0, sums // np.maximum(usan_area, 1), image)
+        return np.clip(out, 0, 255)
+
+
+class SusanEdgesKernel(_SusanBase):
+    """SUSAN edge-response kernel."""
+
+    name = "susan_edges"
+    instructions_per_element = 88
+
+    def run(self, image: np.ndarray, ctx: ApproxContext) -> np.ndarray:
+        """Edge strength ``max(0, g - usan_area)`` scaled to [0, 255]."""
+        image = self._check_gray(image)
+        _, _, usan_area = self._usan(image, ctx)
+        g = (3 * self.max_area) // 4
+        response = np.maximum(0, g - usan_area)
+        scaled = np.clip(response * 255 // max(1, g), 0, 255)
+        return ctx.alu_result(scaled)
+
+
+class SusanCornersKernel(_SusanBase):
+    """SUSAN corner-response kernel."""
+
+    name = "susan_corners"
+    instructions_per_element = 92
+
+    def run(self, image: np.ndarray, ctx: ApproxContext) -> np.ndarray:
+        """Corner strength with the tighter geometric threshold."""
+        image = self._check_gray(image)
+        _, _, usan_area = self._usan(image, ctx)
+        g = self.max_area // 2
+        response = np.maximum(0, g - usan_area)
+        scaled = np.clip(response * 255 // max(1, g), 0, 255)
+        return ctx.alu_result(scaled)

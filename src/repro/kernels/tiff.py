@@ -1,0 +1,81 @@
+"""tiff2bw and tiff2rgba conversion kernels (MiBench `tiff` tools).
+
+Per-pixel colour-space conversions: ``tiff2bw`` reduces RGB to
+luminance with the ITU weights (integer multiply-accumulate), and
+``tiff2rgba`` expands grayscale to RGBA with gamma-ish channel scaling.
+Both are streaming one-pass kernels whose error under approximation is
+per-pixel and unamplified — the best-behaved workloads in the Figure 28
+suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import KernelError
+from .base import ApproxContext, Kernel
+
+__all__ = ["Tiff2BWKernel", "Tiff2RGBAKernel"]
+
+
+class Tiff2BWKernel(Kernel):
+    """RGB -> luminance with integer ITU-601 weights (77, 150, 29)."""
+
+    name = "tiff2bw"
+    instructions_per_element = 14
+
+    def run(self, image: np.ndarray, ctx: ApproxContext) -> np.ndarray:
+        """Luminance image; input must be (H, W, 3) in [0, 255]."""
+        image = np.asarray(image)
+        if image.ndim != 3 or image.shape[-1] != 3:
+            raise KernelError(f"tiff2bw expects an (H, W, 3) image, got {image.shape}")
+        if not np.issubdtype(image.dtype, np.integer):
+            raise KernelError("image must have an integer dtype")
+        if image.min() < 0 or image.max() > 255:
+            raise KernelError("image values must lie in [0, 255]")
+        rgb = image.astype(np.int64)
+        shape = rgb.shape[:2]
+        bits = ctx.alu_bits_for(shape)
+
+        r = ctx.load(rgb[..., 0])
+        g = ctx.load(rgb[..., 1])
+        b = ctx.load(rgb[..., 2])
+        # Three multiply-shift MACs on the approximate datapath.
+        luma = (
+            ctx.alu.mul_shift(r, np.full(shape, 77), 8, bits)
+            + ctx.alu.mul_shift(g, np.full(shape, 150), 8, bits)
+            + ctx.alu.mul_shift(b, np.full(shape, 29), 8, bits)
+        )
+        return np.clip(luma, 0, 255)
+
+    def output_elements(self, image: np.ndarray) -> int:
+        image = np.asarray(image)
+        return int(image.shape[0] * image.shape[1])
+
+
+class Tiff2RGBAKernel(Kernel):
+    """Grayscale -> RGBA expansion with per-channel scaling."""
+
+    name = "tiff2rgba"
+    instructions_per_element = 12
+
+    #: Integer channel gains (Q8): a warm-tint expansion, so the three
+    #: colour planes differ and approximation error is visible per
+    #: channel.
+    CHANNEL_GAINS = (255, 230, 200)
+
+    def run(self, image: np.ndarray, ctx: ApproxContext) -> np.ndarray:
+        """RGBA image of shape (H, W, 4); alpha is opaque 255."""
+        image = self._check_gray(image)
+        gray = ctx.load(image)
+        shape = gray.shape
+        bits = ctx.alu_bits_for(shape)
+
+        channels = [
+            np.clip(
+                ctx.alu.mul_shift(gray, np.full(shape, gain), 8, bits), 0, 255
+            )
+            for gain in self.CHANNEL_GAINS
+        ]
+        alpha = np.full(shape, 255, dtype=np.int64)
+        return np.stack(channels + [alpha], axis=-1)

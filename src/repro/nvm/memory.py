@@ -1,0 +1,205 @@
+"""Multi-version NVM data memory with precision metadata (Section 4).
+
+The paper's incidental NVP widens each data word from 8 to 32 bits —
+four 8-bit *versions*, one per SIMD lane — and attaches 3 precision
+bits per version (12 per word) recording how many reliable bits the
+stored value was computed with. The memory itself implements the
+intra-bundle merge operations (``max``, ``min``, ``sum`` and the
+precision-driven ``higherbits``) that the ``assemble`` pragma invokes,
+iterating over the region one pair of values at a time under a
+controller state machine.
+
+This class is the storage substrate; :mod:`repro.core.merge` provides
+the pragma-facing assemble semantics on top of it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from .._validation import check_choice, check_int_in_range
+from ..errors import MergeError, NVMError
+
+__all__ = ["VersionedNVMemory", "MAX_VERSIONS", "MERGE_MODES"]
+
+#: Hardware version (SIMD lane) count — at most 4-way SIMD in the paper.
+MAX_VERSIONS: int = 4
+
+#: Merge modes implemented by the memory's combination state machine.
+MERGE_MODES: Tuple[str, ...] = ("sum", "max", "min", "higherbits")
+
+_Index = Union[int, slice, np.ndarray]
+
+
+class VersionedNVMemory:
+    """A nonvolatile word array with ``versions`` values per address.
+
+    Parameters
+    ----------
+    n_words:
+        Number of addressable words.
+    word_bits:
+        Width of each stored value (8 for the 8051-class NVP).
+    versions:
+        Number of versions per word (4 in the paper's implementation).
+    """
+
+    def __init__(self, n_words: int, word_bits: int = 8, versions: int = MAX_VERSIONS) -> None:
+        self.n_words = check_int_in_range(n_words, "n_words", 1, exc=NVMError)
+        self.word_bits = check_int_in_range(word_bits, "word_bits", 1, 32, exc=NVMError)
+        self.versions = check_int_in_range(versions, "versions", 1, MAX_VERSIONS, exc=NVMError)
+        self._values = np.zeros((self.versions, self.n_words), dtype=np.int64)
+        # Precision metadata: number of reliable bits each value was
+        # computed with (0 = never written).
+        self._precision = np.zeros((self.versions, self.n_words), dtype=np.int8)
+
+    # -- helpers ----------------------------------------------------------
+
+    @property
+    def max_value(self) -> int:
+        """Largest representable word value."""
+        return (1 << self.word_bits) - 1
+
+    def _check_version(self, version: int) -> int:
+        return check_int_in_range(version, "version", 0, self.versions - 1, exc=NVMError)
+
+    def _clip(self, values: np.ndarray) -> np.ndarray:
+        return np.clip(values, 0, self.max_value)
+
+    # -- reads and writes --------------------------------------------------
+
+    def write(
+        self,
+        version: int,
+        index: _Index,
+        values: Union[int, np.ndarray],
+        precision_bits: Union[int, np.ndarray],
+    ) -> None:
+        """Store ``values`` with ``precision_bits`` metadata.
+
+        Values are clipped to the word range (the datapath saturates);
+        precision must lie in ``[0, word_bits]``.
+        """
+        v = self._check_version(version)
+        values_arr = np.asarray(values, dtype=np.int64)
+        precision_arr = np.asarray(precision_bits, dtype=np.int64)
+        if np.any(precision_arr < 0) or np.any(precision_arr > self.word_bits):
+            raise NVMError(
+                f"precision_bits must be in [0, {self.word_bits}]"
+            )
+        self._values[v, index] = self._clip(values_arr)
+        self._precision[v, index] = precision_arr.astype(np.int8)
+
+    def read(self, version: int, index: _Index = slice(None)) -> np.ndarray:
+        """Read stored values for one version (copy)."""
+        v = self._check_version(version)
+        return self._values[v, index].copy()
+
+    def read_precision(self, version: int, index: _Index = slice(None)) -> np.ndarray:
+        """Read precision metadata for one version (copy)."""
+        v = self._check_version(version)
+        return self._precision[v, index].astype(np.int64)
+
+    def clear_version(self, version: int) -> None:
+        """Zero one version's values and precision (lane freed)."""
+        v = self._check_version(version)
+        self._values[v].fill(0)
+        self._precision[v].fill(0)
+
+    # -- the combination state machine (assemble support) ------------------
+
+    def merge_versions(
+        self,
+        dst_version: int,
+        src_version: int,
+        mode: str,
+        index: _Index = slice(None),
+    ) -> int:
+        """Combine ``src_version`` into ``dst_version`` over ``index``.
+
+        Modes (Section 4 / Table 1):
+
+        * ``"sum"``        — saturating add; precision takes the minimum
+          (a sum is only as reliable as its least reliable addend).
+        * ``"max"`` / ``"min"`` — keep the extreme value; precision
+          follows the chosen element.
+        * ``"higherbits"`` — per element, the value computed with more
+          reliable bits covers the one computed with fewer (ties keep
+          the destination).
+
+        Returns the number of destination elements that changed. The
+        paper's controller blocks execution while this state machine
+        runs; callers can charge latency proportional to the region
+        size.
+        """
+        mode = check_choice(mode, "mode", MERGE_MODES, exc=MergeError)
+        d = self._check_version(dst_version)
+        s = self._check_version(src_version)
+        if d == s:
+            raise MergeError("cannot merge a version into itself")
+        dst_vals = self._values[d, index]
+        src_vals = self._values[s, index]
+        dst_prec = self._precision[d, index]
+        src_prec = self._precision[s, index]
+
+        if mode == "sum":
+            merged = self._clip(dst_vals + src_vals)
+            merged_prec = np.minimum(dst_prec, src_prec)
+        elif mode == "max":
+            take_src = src_vals > dst_vals
+            merged = np.where(take_src, src_vals, dst_vals)
+            merged_prec = np.where(take_src, src_prec, dst_prec)
+        elif mode == "min":
+            take_src = src_vals < dst_vals
+            merged = np.where(take_src, src_vals, dst_vals)
+            merged_prec = np.where(take_src, src_prec, dst_prec)
+        else:  # higherbits
+            take_src = src_prec > dst_prec
+            merged = np.where(take_src, src_vals, dst_vals)
+            merged_prec = np.where(take_src, src_prec, dst_prec)
+
+        changed = int(np.count_nonzero(merged != dst_vals))
+        self._values[d, index] = merged
+        self._precision[d, index] = merged_prec.astype(np.int8)
+        return changed
+
+    # -- backup integration -------------------------------------------------
+
+    def snapshot(self, version: Optional[int] = None) -> Tuple[np.ndarray, np.ndarray]:
+        """Copy out (values, precision) for backup.
+
+        With ``version=None`` the full multi-version state is returned.
+        """
+        if version is None:
+            return self._values.copy(), self._precision.copy()
+        v = self._check_version(version)
+        return self._values[v].copy(), self._precision[v].copy()
+
+    def restore(
+        self,
+        values: np.ndarray,
+        precision: np.ndarray,
+        version: Optional[int] = None,
+    ) -> None:
+        """Load (values, precision) produced by :meth:`snapshot`."""
+        values = np.asarray(values, dtype=np.int64)
+        precision = np.asarray(precision, dtype=np.int8)
+        if version is None:
+            if values.shape != self._values.shape or precision.shape != self._precision.shape:
+                raise NVMError("restore shape mismatch for full-memory snapshot")
+            self._values[...] = self._clip(values)
+            self._precision[...] = precision
+            return
+        v = self._check_version(version)
+        if values.shape != (self.n_words,) or precision.shape != (self.n_words,):
+            raise NVMError("restore shape mismatch for single-version snapshot")
+        self._values[v] = self._clip(values)
+        self._precision[v] = precision
+
+    def __repr__(self) -> str:
+        return (
+            f"VersionedNVMemory(n_words={self.n_words}, "
+            f"word_bits={self.word_bits}, versions={self.versions})"
+        )

@@ -1,0 +1,49 @@
+"""Nonvolatile-processor substrate.
+
+A behavioral model of the paper's modified 8051-class NVP: a simple
+five-stage pipeline with nonvolatile flip-flops, a bit-selectable
+approximate ALU and approximate data memory, a multi-version
+(power-gated) register file for incidental SIMD, and a backup/restore
+engine whose energy follows the STT-RAM retention model.
+
+The RTL of the original evaluation is replaced by instruction- and
+energy-level accounting (see DESIGN.md for the substitution argument);
+the numerical *semantics* of bit-reduced execution are reproduced
+exactly as Section 8.1 describes them.
+"""
+
+from .isa import InstructionClass, InstructionMix, DEFAULT_MIX
+from .energy_model import EnergyModel
+from .datapath import ApproximateALU, alu_reduce_bits
+from .memory_approx import ApproximateMemory, memory_truncate_bits, memory_quantize
+from .registers import MultiVersionRegisterFile
+from .pipeline import PipelineModel, StateSnapshot
+from .backup import BackupEngine, BackupRecord
+from .processor import NonvolatileProcessor
+from .asm import Instruction, Operand, Program, assemble
+from .mcu import MCU8051, MCUState, RunOutcome
+
+__all__ = [
+    "InstructionClass",
+    "InstructionMix",
+    "DEFAULT_MIX",
+    "EnergyModel",
+    "ApproximateALU",
+    "alu_reduce_bits",
+    "ApproximateMemory",
+    "memory_truncate_bits",
+    "memory_quantize",
+    "MultiVersionRegisterFile",
+    "PipelineModel",
+    "StateSnapshot",
+    "BackupEngine",
+    "BackupRecord",
+    "NonvolatileProcessor",
+    "Instruction",
+    "Operand",
+    "Program",
+    "assemble",
+    "MCU8051",
+    "MCUState",
+    "RunOutcome",
+]

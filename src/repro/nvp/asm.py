@@ -1,0 +1,285 @@
+"""A small 8051-class assembly language and assembler.
+
+The paper's functional simulator runs compiled C on a modified 8051
+RTL. This module provides the instruction-level half of that story in
+Python: a compact, faithful-in-spirit subset of the 8051 ISA with an
+assembler from mnemonic text to :class:`Program` objects that
+:class:`repro.nvp.mcu.MCU8051` interprets with cycle, energy, and
+approximate-datapath accounting.
+
+Supported forms (case-insensitive, ``;`` comments, ``label:`` targets)::
+
+    MOV  A, #12      MOV  A, R3      MOV  R3, A      MOV R2, #7
+    MOV  DPTR, #512  INC  DPTR
+    MOVX A, @DPTR    MOVX @DPTR, A
+    ADD  A, R1       ADD  A, #3      ADDC A, R1      SUBB A, #1
+    MUL  AB
+    ANL/ORL/XRL A, Rn|#imm
+    INC/DEC A|Rn     CLR A           RL/RR A         SWAP A
+    CLR  C           SETB C
+    SJMP lbl   JZ lbl   JNZ lbl   JC lbl   JNC lbl
+    CJNE A, #imm, lbl      DJNZ Rn, lbl
+    NOP              HALT
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import ProcessorError
+from .isa import InstructionClass
+
+__all__ = ["Operand", "Instruction", "Program", "assemble"]
+
+# Operand kinds.
+_REG = "reg"        # R0-R7
+_ACC = "acc"        # A
+_B = "breg"         # B (the MUL partner register)
+_IMM = "imm"        # #n (8-bit)
+_IMM16 = "imm16"    # #n (16-bit, DPTR loads)
+_DPTR = "dptr"      # DPTR
+_AT_DPTR = "@dptr"  # @DPTR
+_LABEL = "label"
+_CARRY = "carry"    # C
+_AB = "ab"          # the MUL AB register pair
+_DIR = "dir"        # direct internal-RAM address (bare number)
+
+
+@dataclass(frozen=True)
+class Operand:
+    """One decoded operand."""
+
+    kind: str
+    value: int = 0
+    label: str = ""
+
+    def __repr__(self) -> str:
+        if self.kind == _REG:
+            return f"R{self.value}"
+        if self.kind in (_IMM, _IMM16):
+            return f"#{self.value}"
+        if self.kind == _DIR:
+            return f"{self.value:#04x}"
+        if self.kind == _LABEL:
+            return self.label
+        return self.kind.upper()
+
+
+#: mnemonic -> (InstructionClass, allowed operand-kind signatures)
+_SPEC: Dict[str, Tuple[InstructionClass, Tuple[Tuple[str, ...], ...]]] = {
+    "MOV": (
+        InstructionClass.MOVE,
+        (
+            (_ACC, _IMM), (_ACC, _REG), (_REG, _ACC), (_REG, _IMM),
+            (_REG, _REG), (_DPTR, _IMM16),
+            (_B, _ACC), (_ACC, _B), (_B, _IMM),
+            (_ACC, _DIR), (_DIR, _ACC), (_DIR, _IMM),
+        ),
+    ),
+    "MOVX": (InstructionClass.LOAD, ((_ACC, _AT_DPTR), (_AT_DPTR, _ACC))),
+    "ADD": (InstructionClass.ALU, ((_ACC, _REG), (_ACC, _IMM))),
+    "ADDC": (InstructionClass.ALU, ((_ACC, _REG), (_ACC, _IMM))),
+    "SUBB": (InstructionClass.ALU, ((_ACC, _REG), (_ACC, _IMM))),
+    "MUL": (InstructionClass.MUL, ((_AB,),)),
+    "ANL": (InstructionClass.ALU, ((_ACC, _REG), (_ACC, _IMM))),
+    "ORL": (InstructionClass.ALU, ((_ACC, _REG), (_ACC, _IMM))),
+    "XRL": (InstructionClass.ALU, ((_ACC, _REG), (_ACC, _IMM))),
+    "INC": (InstructionClass.ALU, ((_ACC,), (_REG,), (_DPTR,))),
+    "DEC": (InstructionClass.ALU, ((_ACC,), (_REG,))),
+    "CLR": (InstructionClass.ALU, ((_ACC,), (_CARRY,))),
+    "SETB": (InstructionClass.ALU, ((_CARRY,),)),
+    "RL": (InstructionClass.ALU, ((_ACC,),)),
+    "RR": (InstructionClass.ALU, ((_ACC,),)),
+    "SWAP": (InstructionClass.ALU, ((_ACC,),)),
+    "SJMP": (InstructionClass.BRANCH, ((_LABEL,),)),
+    "JZ": (InstructionClass.BRANCH, ((_LABEL,),)),
+    "JNZ": (InstructionClass.BRANCH, ((_LABEL,),)),
+    "JC": (InstructionClass.BRANCH, ((_LABEL,),)),
+    "JNC": (InstructionClass.BRANCH, ((_LABEL,),)),
+    "CJNE": (InstructionClass.BRANCH, ((_ACC, _IMM, _LABEL), (_REG, _IMM, _LABEL))),
+    "DJNZ": (InstructionClass.BRANCH, ((_REG, _LABEL),)),
+    "ACALL": (InstructionClass.BRANCH, ((_LABEL,),)),
+    "RET": (InstructionClass.BRANCH, ((),)),
+    "PUSH": (InstructionClass.STORE, ((_ACC,), (_REG,), (_DIR,))),
+    "POP": (InstructionClass.LOAD, ((_ACC,), (_REG,), (_DIR,))),
+    "NOP": (InstructionClass.NOP, ((),)),
+    "HALT": (InstructionClass.NOP, ((),)),
+}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One assembled instruction."""
+
+    mnemonic: str
+    operands: Tuple[Operand, ...]
+    klass: InstructionClass
+    #: Resolved branch target (instruction index), for branch forms.
+    target: Optional[int] = None
+    #: Source line number (1-based), for error reporting.
+    line: int = 0
+
+    @property
+    def cycles(self) -> int:
+        """Clock cycles this instruction takes (classic 8051 timing)."""
+        return self.klass.cycles
+
+    def __repr__(self) -> str:
+        ops = ", ".join(repr(op) for op in self.operands)
+        return f"{self.mnemonic} {ops}".strip()
+
+
+@dataclass(frozen=True)
+class Program:
+    """An assembled program: instructions plus the label map."""
+
+    instructions: Tuple[Instruction, ...]
+    labels: Dict[str, int] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __getitem__(self, index: int) -> Instruction:
+        return self.instructions[index]
+
+    def label_address(self, name: str) -> int:
+        """Instruction index of a label."""
+        try:
+            return self.labels[name]
+        except KeyError:
+            raise ProcessorError(f"unknown label {name!r}") from None
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*)\s*:\s*(.*)$")
+_REG_RE = re.compile(r"^R([0-7])$", re.IGNORECASE)
+
+
+def _parse_operand(token: str, line_no: int) -> Operand:
+    token = token.strip()
+    upper = token.upper()
+    if upper == "A":
+        return Operand(_ACC)
+    if upper == "B":
+        return Operand(_B)
+    if upper == "AB":
+        return Operand(_AB)
+    if upper == "C":
+        return Operand(_CARRY)
+    if upper == "DPTR":
+        return Operand(_DPTR)
+    if upper == "@DPTR":
+        return Operand(_AT_DPTR)
+    reg = _REG_RE.match(token)
+    if reg:
+        return Operand(_REG, value=int(reg.group(1)))
+    if token.startswith("#"):
+        body = token[1:].strip()
+        try:
+            value = int(body, 0)
+        except ValueError:
+            raise ProcessorError(
+                f"line {line_no}: bad immediate {token!r}"
+            ) from None
+        if not 0 <= value <= 0xFFFF:
+            raise ProcessorError(f"line {line_no}: immediate {value} out of range")
+        return Operand(_IMM16 if value > 0xFF else _IMM, value=value)
+    if re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", token):
+        return Operand(_LABEL, label=token)
+    # Bare numbers are direct internal-RAM addresses (8051 "direct").
+    try:
+        address = int(token, 0)
+    except ValueError:
+        raise ProcessorError(f"line {line_no}: cannot parse operand {token!r}") from None
+    if not 0 <= address <= 0xFF:
+        raise ProcessorError(f"line {line_no}: direct address {address} out of range")
+    return Operand(_DIR, value=address)
+
+
+def _signature_matches(expected: Tuple[str, ...], operands: Sequence[Operand]) -> bool:
+    if len(expected) != len(operands):
+        return False
+    for kind, operand in zip(expected, operands):
+        if kind == _IMM16 and operand.kind in (_IMM, _IMM16):
+            continue
+        if kind == _IMM and operand.kind != _IMM:
+            return False
+        if kind not in (_IMM, _IMM16) and operand.kind != kind:
+            return False
+    return True
+
+
+def assemble(source: Union[str, Sequence[str]]) -> Program:
+    """Assemble mnemonic text into a :class:`Program`.
+
+    Two-pass: collect labels, then parse and resolve branch targets.
+    Raises :class:`~repro.errors.ProcessorError` with the offending
+    line number on any syntax or signature error.
+    """
+    lines = source.splitlines() if isinstance(source, str) else list(source)
+
+    # Pass 1: strip comments, peel labels, collect statements.
+    statements: List[Tuple[int, str]] = []
+    labels: Dict[str, int] = {}
+    for line_no, raw in enumerate(lines, start=1):
+        text = raw.split(";", 1)[0].strip()
+        while text:
+            match = _LABEL_RE.match(text)
+            if match:
+                name = match.group(1)
+                if name in labels:
+                    raise ProcessorError(f"line {line_no}: duplicate label {name!r}")
+                if name.upper() in _SPEC:
+                    raise ProcessorError(
+                        f"line {line_no}: label {name!r} shadows a mnemonic"
+                    )
+                labels[name] = len(statements)
+                text = match.group(2).strip()
+                continue
+            statements.append((line_no, text))
+            break
+
+    # Labels at end-of-program point one past the last instruction
+    # (useful as a HALT target); normalise them.
+    program_length = len(statements)
+    for name, address in labels.items():
+        if address > program_length:
+            labels[name] = program_length
+
+    # Pass 2: parse statements.
+    instructions: List[Instruction] = []
+    for index, (line_no, text) in enumerate(statements):
+        parts = text.split(None, 1)
+        mnemonic = parts[0].upper()
+        if mnemonic not in _SPEC:
+            raise ProcessorError(f"line {line_no}: unknown mnemonic {mnemonic!r}")
+        klass, signatures = _SPEC[mnemonic]
+        operand_text = parts[1] if len(parts) > 1 else ""
+        operands = tuple(
+            _parse_operand(tok, line_no)
+            for tok in operand_text.split(",")
+            if tok.strip()
+        )
+        if not any(_signature_matches(sig, operands) for sig in signatures):
+            raise ProcessorError(
+                f"line {line_no}: bad operands for {mnemonic}: {text!r}"
+            )
+        target: Optional[int] = None
+        for operand in operands:
+            if operand.kind == _LABEL:
+                if operand.label not in labels:
+                    raise ProcessorError(
+                        f"line {line_no}: undefined label {operand.label!r}"
+                    )
+                target = labels[operand.label]
+        instructions.append(
+            Instruction(
+                mnemonic=mnemonic,
+                operands=operands,
+                klass=klass,
+                target=target,
+                line=line_no,
+            )
+        )
+    return Program(instructions=tuple(instructions), labels=labels)

@@ -1,0 +1,122 @@
+"""Backup/restore engine: pricing and recording persistence operations.
+
+Combines the pipeline's state sizing, the active retention policy's
+relative write energy, and the calibrated system-level backup cost into
+the per-event energies the system simulator charges. Every backup and
+restore is recorded so experiments can report counts (Figure 16) and
+energy shares (Section 3.2's 20-33 % of income energy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from .._validation import check_int_in_range
+from ..errors import ProcessorError
+from ..nvm.retention import RetentionPolicy
+from .energy_model import EnergyModel
+from .pipeline import PipelineModel
+
+__all__ = ["BackupRecord", "BackupEngine"]
+
+
+@dataclass(frozen=True)
+class BackupRecord:
+    """One completed backup event."""
+
+    tick: int
+    energy_uj: float
+    state_bits: int
+    policy_name: str
+
+
+class BackupEngine:
+    """Prices and logs backup/restore events for one simulation run.
+
+    Parameters
+    ----------
+    energy_model:
+        The calibrated NVP energy model.
+    pipeline:
+        The pipeline state-sizing model.
+    policy:
+        Retention policy used for the *approximable* share of the
+        backed-up state; ``None`` means fully precise backups.
+    approximable_fraction:
+        Fraction of backed-up state covered by ``incidental`` pragmas
+        and therefore eligible for shaped (cheap) writes. The PC,
+        control state and non-marked data always persist precisely.
+    """
+
+    def __init__(
+        self,
+        energy_model: EnergyModel,
+        pipeline: PipelineModel,
+        policy: Optional[RetentionPolicy] = None,
+        approximable_fraction: float = 0.9,
+    ) -> None:
+        if not 0.0 <= approximable_fraction <= 1.0:
+            raise ProcessorError("approximable_fraction must be in [0, 1]")
+        self.energy_model = energy_model
+        self.pipeline = pipeline
+        self.policy = policy
+        self.approximable_fraction = float(approximable_fraction)
+        self.backups: List[BackupRecord] = []
+        self.restore_count = 0
+        self.total_backup_energy_uj = 0.0
+        self.total_restore_energy_uj = 0.0
+
+    @property
+    def policy_name(self) -> str:
+        """Name of the active retention policy ('precise' when none)."""
+        return self.policy.name if self.policy is not None else "precise"
+
+    def _blended_policy_scale(self) -> float:
+        """Per-word energy scale blending precise and shaped writes."""
+        if self.policy is None:
+            return 1.0
+        shaped = self.energy_model.policy_relative_energy(self.policy)
+        return (
+            (1.0 - self.approximable_fraction)
+            + self.approximable_fraction * shaped
+        )
+
+    def backup_energy_uj(self, lane_bits: Sequence[int]) -> float:
+        """Energy one backup will cost with the given live lane budgets."""
+        fraction = self.pipeline.state_fraction(lane_bits)
+        return (
+            self.energy_model.backup_base_uj
+            * self._blended_policy_scale()
+            * fraction
+        )
+
+    def restore_energy_uj(self, lane_bits: Sequence[int]) -> float:
+        """Energy one restore will cost."""
+        fraction = self.pipeline.state_fraction(lane_bits)
+        return self.energy_model.restore_energy_uj(state_fraction=fraction)
+
+    def record_backup(self, tick: int, lane_bits: Sequence[int]) -> BackupRecord:
+        """Log a completed backup at ``tick``; returns its record."""
+        tick = check_int_in_range(tick, "tick", 0, exc=ProcessorError)
+        record = BackupRecord(
+            tick=tick,
+            energy_uj=self.backup_energy_uj(lane_bits),
+            state_bits=self.pipeline.state_bits(lane_bits),
+            policy_name=self.policy_name,
+        )
+        self.backups.append(record)
+        self.total_backup_energy_uj += record.energy_uj
+        return record
+
+    def record_restore(self, lane_bits: Sequence[int]) -> float:
+        """Log a completed restore; returns its energy (µJ)."""
+        energy = self.restore_energy_uj(lane_bits)
+        self.restore_count += 1
+        self.total_restore_energy_uj += energy
+        return energy
+
+    @property
+    def backup_count(self) -> int:
+        """Number of backups taken so far."""
+        return len(self.backups)

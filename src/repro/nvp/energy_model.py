@@ -1,0 +1,174 @@
+"""Calibrated NVP power/energy model.
+
+The measured platform of Section 2.1 runs the NVP at 1 MHz for
+0.209 mW. We decompose that 209 µW into:
+
+* ``P_leak``   — always-on leakage while the chip is powered;
+* ``P_fetch``  — fetch/decode/control power, *shared* across SIMD
+  lanes (this sharing is gain source (3) in Section 8.6: "incidental
+  computing provides the SIMD benefits of reduced instruction fetch
+  energy");
+* ``P_dp(b)``  — per-lane datapath power, scaling with the lane's
+  reliable bit budget ``b`` as ``alpha + (1-alpha) * (b/8)**2``
+  (gradient VDD over bit slices, after [8, 75]: each dropped bit slice
+  also drops its supply voltage, so power falls superlinearly in the
+  reliable width).
+
+Backups are priced from the measured system balance rather than from
+raw cell energetics: Section 3.2 reports that precise backups consume
+20.1-33 % of total income energy at 1400-1700 backups per minute, which
+fixes the full-retention backup cost at a fraction of a microjoule.
+Retention-shaped backups scale that cost by the policy's relative write
+energy from the STT-RAM model, preserving the *ratio* the device model
+predicts while keeping the system-level absolute calibrated. Restores
+read NVM (cheap) but pay a wake-up cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from .._validation import check_in_range, check_int_in_range, check_non_negative, check_positive
+from ..errors import ConfigurationError
+from ..nvm.retention import RetentionPolicy, UniformRetention
+from ..nvm.sttram import RETENTION_ONE_DAY_S, STTRAMModel
+
+__all__ = ["EnergyModel"]
+
+#: NVP clock frequency (Hz) — 1 MHz in the measured platform.
+CLOCK_HZ: float = 1.0e6
+
+#: Cycles per 0.1 ms tick at 1 MHz.
+CYCLES_PER_TICK: int = 100
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Power and energy accounting for the behavioral NVP.
+
+    All defaults are calibrated jointly (see DESIGN.md §5.3) so that:
+
+    * full-precision single-lane power is 209 µW at 1 MHz;
+    * Figure 15's shape holds (1-bit execution roughly doubles forward
+      progress once backup savings and duty-cycle effects compound);
+    * precise backups consume a 20-33 % share of income energy on the
+      standard profiles.
+    """
+
+    leakage_uw: float = 10.0
+    fetch_uw: float = 100.0
+    datapath_uw: float = 99.0
+    datapath_floor: float = 0.05
+    datapath_bit_exponent: float = 2.0
+    word_bits: int = 8
+    #: Full-retention, full-state backup energy for one 8-bit lane (µJ).
+    #: Calibrated so precise backups consume a 20-33 % share of income
+    #: energy on the standard profiles (Section 3.2).
+    backup_base_uj: float = 0.70
+    #: Restore (wake-up + NVM read) energy (µJ).
+    restore_base_uj: float = 0.08
+    #: STT-RAM model used for *relative* retention-policy scaling.
+    cell: STTRAMModel = STTRAMModel()
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.leakage_uw, "leakage_uw")
+        check_non_negative(self.fetch_uw, "fetch_uw")
+        check_positive(self.datapath_uw, "datapath_uw")
+        check_in_range(self.datapath_floor, "datapath_floor", 0.0, 1.0)
+        check_positive(self.datapath_bit_exponent, "datapath_bit_exponent")
+        check_int_in_range(self.word_bits, "word_bits", 1, 32)
+        check_positive(self.backup_base_uj, "backup_base_uj")
+        check_positive(self.restore_base_uj, "restore_base_uj")
+
+    # -- run power -----------------------------------------------------
+
+    def lane_datapath_uw(self, bits: int) -> float:
+        """Datapath power of one lane running with ``bits`` reliable bits."""
+        b = check_int_in_range(bits, "bits", 1, self.word_bits)
+        scale = self.datapath_floor + (1.0 - self.datapath_floor) * (
+            b / self.word_bits
+        ) ** self.datapath_bit_exponent
+        return self.datapath_uw * scale
+
+    def run_power_uw(self, lane_bits: Sequence[int]) -> float:
+        """Total chip power (µW) with the given per-lane bit budgets.
+
+        ``lane_bits`` holds one entry per active SIMD lane (1-4 lanes);
+        fetch and leakage are paid once regardless of width.
+        """
+        lanes = list(lane_bits)
+        if not 1 <= len(lanes) <= 4:
+            raise ConfigurationError(
+                f"the NVP supports 1-4 SIMD lanes, got {len(lanes)}"
+            )
+        return (
+            self.leakage_uw
+            + self.fetch_uw
+            + sum(self.lane_datapath_uw(b) for b in lanes)
+        )
+
+    def uniform_run_power_uw(self, bits: int, simd_width: int = 1) -> float:
+        """Chip power with ``simd_width`` lanes all at ``bits`` bits."""
+        width = check_int_in_range(simd_width, "simd_width", 1, 4)
+        return self.run_power_uw([bits] * width)
+
+    def energy_per_instruction_nj(
+        self, bits: int, simd_width: int = 1, mix_weight: float = 1.0
+    ) -> float:
+        """Energy per *lane-instruction* (nJ) at 1 MHz, 1 IPC per lane.
+
+        ``mix_weight`` scales for a kernel's instruction mix (relative
+        to the pure-ALU baseline).
+        """
+        weight = check_positive(mix_weight, "mix_weight")
+        power = self.uniform_run_power_uw(bits, simd_width)
+        per_cycle_nj = power / CLOCK_HZ * 1.0e3  # uW / Hz -> uJ -> nJ
+        return per_cycle_nj * weight / simd_width
+
+    # -- backup / restore ------------------------------------------------
+
+    def state_fraction(self, lane_bits: Sequence[int], base_state_bits: int, lane_state_bits: int) -> float:
+        """Backed-up state size relative to one full-precision lane.
+
+        ``base_state_bits`` covers PC/control state shared by all lanes;
+        ``lane_state_bits`` is the per-lane register/pipeline state at
+        full precision. A lane running with ``b`` reliable bits only
+        needs ``b/word_bits`` of its state persisted reliably (the
+        paper's "reduced local state to back up").
+        """
+        lanes = list(lane_bits)
+        if not lanes:
+            raise ConfigurationError("at least one lane must be active")
+        full = base_state_bits + lane_state_bits
+        shaped = base_state_bits + lane_state_bits * sum(
+            b / self.word_bits for b in lanes
+        )
+        return shaped / full
+
+    def policy_relative_energy(self, policy: Optional[RetentionPolicy]) -> float:
+        """Per-word backup-energy ratio of ``policy`` vs full retention."""
+        if policy is None:
+            policy = UniformRetention(RETENTION_ONE_DAY_S, word_bits=self.word_bits)
+        return policy.relative_write_energy(self.cell)
+
+    def backup_energy_uj(
+        self,
+        policy: Optional[RetentionPolicy] = None,
+        state_fraction: float = 1.0,
+    ) -> float:
+        """Energy of one backup (µJ).
+
+        ``policy=None`` means the precise (1-day uniform) backup; a
+        shaped policy scales cost by its relative STT-RAM write energy.
+        ``state_fraction`` scales for the amount of live state (smaller
+        bit budgets and inactive lanes back up less).
+        """
+        fraction = check_positive(state_fraction, "state_fraction")
+        return self.backup_base_uj * self.policy_relative_energy(policy) * fraction
+
+    def restore_energy_uj(self, state_fraction: float = 1.0) -> float:
+        """Energy of one restore (µJ)."""
+        fraction = check_positive(state_fraction, "state_fraction")
+        # Wake-up cost dominates; the read scales weakly with state.
+        return self.restore_base_uj * (0.6 + 0.4 * fraction)

@@ -1,0 +1,135 @@
+"""Instruction classes and kernel instruction mixes for the 8051-class NVP.
+
+The functional simulator of the paper runs compiled MiBench kernels on
+a modified 8051 RTL. At the behavioral level what the system simulator
+needs from the ISA is (a) how many instructions a unit of kernel work
+costs and (b) how the energy of an instruction depends on its class
+(memory operations cost more than register ALU operations, multiplies
+more than adds). This module captures both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Mapping
+
+from .._validation import check_non_negative
+from ..errors import ProcessorError
+
+__all__ = ["InstructionClass", "InstructionMix", "DEFAULT_MIX", "KERNEL_MIXES"]
+
+
+class InstructionClass(Enum):
+    """Instruction classes of the 8051-class datapath.
+
+    The ``weight`` of each class is its relative per-instruction energy
+    against a register-to-register ALU operation; ``cycles`` is the
+    class's base cycle count on the five-stage pipeline (the classic
+    8051 multi-cycle MUL is retained).
+    """
+
+    # Cycle counts follow the classic 8051 timing: one machine cycle is
+    # 12 clocks; MOVX-style memory accesses and branches take two
+    # machine cycles, MUL takes four.
+    ALU = ("alu", 1.00, 12)
+    MOVE = ("move", 0.85, 12)
+    LOAD = ("load", 1.60, 24)
+    STORE = ("store", 1.75, 24)
+    BRANCH = ("branch", 1.10, 24)
+    MUL = ("mul", 2.80, 48)
+    NOP = ("nop", 0.40, 12)
+    #: Incidental-computing control: marks a resume point in the
+    #: nonvolatile PC buffer (Section 4).
+    MARK_RESUME = ("mark_resume", 1.20, 12)
+    #: Incidental-computing control: requests a multi-version merge.
+    MERGE_REQUEST = ("merge_request", 1.20, 12)
+
+    def __init__(self, label: str, weight: float, cycles: int) -> None:
+        self.label = label
+        self.weight = weight
+        self.cycles = cycles
+
+
+@dataclass(frozen=True)
+class InstructionMix:
+    """A normalised distribution over instruction classes.
+
+    Used to derive the average energy-per-instruction of a kernel from
+    the per-class weights, mirroring the paper's note that "the energy
+    per instruction within these testbenches" varies slightly and
+    drives profile-to-profile variation in Figure 28.
+    """
+
+    fractions: Mapping[InstructionClass, float] = field(
+        default_factory=lambda: dict(_DEFAULT_FRACTIONS)
+    )
+
+    def __post_init__(self) -> None:
+        total = 0.0
+        for cls, frac in self.fractions.items():
+            if not isinstance(cls, InstructionClass):
+                raise ProcessorError(f"mix keys must be InstructionClass, got {cls!r}")
+            check_non_negative(frac, f"fraction[{cls.label}]", exc=ProcessorError)
+            total += frac
+        if abs(total - 1.0) > 1e-6:
+            raise ProcessorError(f"instruction-mix fractions must sum to 1, got {total}")
+
+    @property
+    def mean_energy_weight(self) -> float:
+        """Average relative energy per instruction under this mix."""
+        return float(
+            sum(cls.weight * frac for cls, frac in self.fractions.items())
+        )
+
+    @property
+    def mean_cycles(self) -> float:
+        """Average cycles per instruction under this mix."""
+        return float(
+            sum(cls.cycles * frac for cls, frac in self.fractions.items())
+        )
+
+    def scaled_by(self, **overrides: float) -> "InstructionMix":
+        """Return a re-normalised mix with some class fractions replaced.
+
+        ``overrides`` maps class *labels* to new (unnormalised) masses.
+        """
+        masses: Dict[InstructionClass, float] = dict(self.fractions)
+        by_label = {cls.label: cls for cls in InstructionClass}
+        for label, mass in overrides.items():
+            if label not in by_label:
+                raise ProcessorError(f"unknown instruction class label {label!r}")
+            masses[by_label[label]] = check_non_negative(mass, label, exc=ProcessorError)
+        total = sum(masses.values())
+        if total <= 0.0:
+            raise ProcessorError("instruction mix cannot be all-zero")
+        return InstructionMix({cls: mass / total for cls, mass in masses.items()})
+
+
+_DEFAULT_FRACTIONS: Dict[InstructionClass, float] = {
+    InstructionClass.ALU: 0.36,
+    InstructionClass.MOVE: 0.14,
+    InstructionClass.LOAD: 0.22,
+    InstructionClass.STORE: 0.10,
+    InstructionClass.BRANCH: 0.13,
+    InstructionClass.MUL: 0.03,
+    InstructionClass.NOP: 0.02,
+}
+
+#: Generic embedded-kernel mix used when a workload has no bespoke mix.
+DEFAULT_MIX = InstructionMix()
+
+#: Per-kernel instruction mixes (the slight energy-per-instruction
+#: variation the paper attributes Figure 28's profile variation to).
+KERNEL_MIXES: Dict[str, InstructionMix] = {
+    "sobel": DEFAULT_MIX.scaled_by(mul=0.06, alu=0.40),
+    "median": DEFAULT_MIX.scaled_by(branch=0.22, load=0.26),
+    "integral": DEFAULT_MIX.scaled_by(alu=0.44, load=0.24),
+    "susan_smoothing": DEFAULT_MIX.scaled_by(mul=0.08, load=0.26),
+    "susan_edges": DEFAULT_MIX.scaled_by(mul=0.07, branch=0.16),
+    "susan_corners": DEFAULT_MIX.scaled_by(mul=0.07, branch=0.18),
+    "jpeg_encode": DEFAULT_MIX.scaled_by(mul=0.12, alu=0.40),
+    "tiff2bw": DEFAULT_MIX.scaled_by(mul=0.05, move=0.18),
+    "tiff2rgba": DEFAULT_MIX.scaled_by(move=0.24, store=0.16),
+    "fft": DEFAULT_MIX.scaled_by(mul=0.14, alu=0.40),
+}

@@ -1,0 +1,401 @@
+"""Behavioral 8051-class interpreter with nonvolatile checkpointing.
+
+Executes :class:`repro.nvp.asm.Program` objects instruction by
+instruction with classic 8051 timing, tracks energy through the
+calibrated power model, supports the NVP's defining operation —
+snapshot the *complete* machine state at any instruction boundary and
+resume later, bit-exactly — and routes arithmetic through the
+approximate datapath when a reduced bit budget is active.
+
+The key correctness property of the paper's base platform ("systems can
+make persistent progress even if only one instruction successfully
+completes between power interruptions") is directly testable here: a
+run chopped by arbitrarily many snapshot/restore cycles produces the
+same final state as an uninterrupted run. The test suite checks exactly
+that, with hypothesis generating the interruption schedules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .._validation import check_int_in_range
+from ..errors import ProcessorError
+from .asm import Instruction, Program
+from .datapath import ApproximateALU
+from .energy_model import CLOCK_HZ, EnergyModel
+
+__all__ = ["MCUState", "MCU8051", "RunOutcome"]
+
+#: External data memory (XRAM) size in bytes.
+XRAM_SIZE = 4096
+
+
+@dataclass(frozen=True)
+class MCUState:
+    """A complete nonvolatile checkpoint of the machine."""
+
+    pc: int
+    acc: int
+    b: int
+    carry: int
+    registers: Tuple[int, ...]
+    dptr: int
+    xram: bytes
+    cycles: int
+    halted: bool
+    iram: bytes = bytes(256)
+    sp: int = 7
+
+
+@dataclass(frozen=True)
+class RunOutcome:
+    """Result of one :meth:`MCU8051.run` call."""
+
+    instructions: int
+    cycles: int
+    energy_uj: float
+    halted: bool
+
+    @property
+    def seconds(self) -> float:
+        """Wall-clock time at the 1 MHz core clock."""
+        return self.cycles / CLOCK_HZ
+
+
+class MCU8051:
+    """The interpreter. One instance = one powered-or-not core.
+
+    Parameters
+    ----------
+    program:
+        The assembled program to execute.
+    ac_bits:
+        Reliable-bit budget of the datapath (8 = precise). Arithmetic
+        results pass through the approximate ALU below 8 bits; compares
+        use noisy keys, exactly the Section 8.1 semantics.
+    energy_model:
+        Power model used to price executed cycles.
+    seed:
+        Noise seed for the approximate datapath.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        ac_bits: int = 8,
+        energy_model: Optional[EnergyModel] = None,
+        seed: int = 0,
+    ) -> None:
+        if len(program) == 0:
+            raise ProcessorError("cannot run an empty program")
+        self.program = program
+        self.ac_bits = check_int_in_range(ac_bits, "ac_bits", 1, 8)
+        self.energy_model = energy_model if energy_model is not None else EnergyModel()
+        self._alu = ApproximateALU(seed=seed)
+        self.pc = 0
+        self.acc = 0
+        self.b = 0
+        self.carry = 0
+        self.registers = [0] * 8
+        self.dptr = 0
+        self.xram = bytearray(XRAM_SIZE)
+        # Internal RAM with the classic post-bank stack pointer reset.
+        self.iram = bytearray(256)
+        self.sp = 7
+        self.cycles = 0
+        self.instructions_executed = 0
+        self.halted = False
+
+    # -- memory helpers ---------------------------------------------------
+
+    def load_xram(self, address: int, data) -> None:
+        """Preload external data memory (the testbench ROM arrays)."""
+        data = np.asarray(data, dtype=np.int64).ravel()
+        if address < 0 or address + data.size > XRAM_SIZE:
+            raise ProcessorError("XRAM preload out of range")
+        for offset, value in enumerate(data):
+            self.xram[address + offset] = int(value) & 0xFF
+
+    def read_xram(self, address: int, length: int) -> np.ndarray:
+        """Read back a region of external data memory."""
+        if address < 0 or address + length > XRAM_SIZE:
+            raise ProcessorError("XRAM read out of range")
+        return np.frombuffer(
+            bytes(self.xram[address : address + length]), dtype=np.uint8
+        ).astype(np.int64)
+
+    # -- approximate datapath ------------------------------------------------
+
+    def _approx(self, value: int) -> int:
+        if self.ac_bits >= 8:
+            return value & 0xFF
+        return int(
+            self._alu.passthrough(np.array([value & 0xFF]), self.ac_bits)[0]
+        )
+
+    # -- execution -------------------------------------------------------------
+
+    def step(self) -> int:
+        """Execute one instruction; returns its cycle count."""
+        if self.halted:
+            return 0
+        if not 0 <= self.pc < len(self.program):
+            self.halted = True
+            return 0
+        instruction = self.program[self.pc]
+        next_pc = self.pc + 1
+        handler = getattr(self, f"_op_{instruction.mnemonic.lower()}", None)
+        if handler is None:
+            raise ProcessorError(f"unimplemented mnemonic {instruction.mnemonic}")
+        jump = handler(instruction)
+        self.pc = jump if jump is not None else next_pc
+        self.cycles += instruction.cycles
+        self.instructions_executed += 1
+        return instruction.cycles
+
+    def run(self, max_cycles: Optional[int] = None) -> RunOutcome:
+        """Run until HALT, program end, or the cycle budget expires."""
+        start_cycles = self.cycles
+        start_instructions = self.instructions_executed
+        budget = max_cycles if max_cycles is not None else float("inf")
+        while not self.halted and (self.cycles - start_cycles) < budget:
+            if self.step() == 0:
+                break
+        executed_cycles = self.cycles - start_cycles
+        power_uw = self.energy_model.uniform_run_power_uw(self.ac_bits)
+        energy_uj = power_uw * executed_cycles / CLOCK_HZ
+        return RunOutcome(
+            instructions=self.instructions_executed - start_instructions,
+            cycles=executed_cycles,
+            energy_uj=energy_uj,
+            halted=self.halted,
+        )
+
+    # -- nonvolatile checkpointing -----------------------------------------------
+
+    def snapshot(self) -> MCUState:
+        """Capture the complete machine state (an NVP backup image)."""
+        return MCUState(
+            pc=self.pc,
+            acc=self.acc,
+            b=self.b,
+            carry=self.carry,
+            registers=tuple(self.registers),
+            dptr=self.dptr,
+            xram=bytes(self.xram),
+            cycles=self.cycles,
+            halted=self.halted,
+            iram=bytes(self.iram),
+            sp=self.sp,
+        )
+
+    def restore(self, state: MCUState) -> None:
+        """Resume from a backup image, bit-exactly."""
+        self.pc = state.pc
+        self.acc = state.acc
+        self.b = state.b
+        self.carry = state.carry
+        self.registers = list(state.registers)
+        self.dptr = state.dptr
+        self.xram = bytearray(state.xram)
+        self.iram = bytearray(state.iram)
+        self.sp = state.sp
+        self.cycles = state.cycles
+        self.halted = state.halted
+
+    # -- operand access ------------------------------------------------------------
+
+    def _read(self, operand) -> int:
+        if operand.kind == "acc":
+            return self.acc
+        if operand.kind == "breg":
+            return self.b
+        if operand.kind == "reg":
+            return self.registers[operand.value]
+        if operand.kind == "dir":
+            return self.iram[operand.value]
+        if operand.kind in ("imm", "imm16"):
+            return operand.value
+        raise ProcessorError(f"cannot read operand {operand!r}")
+
+    def _write(self, operand, value: int) -> None:
+        if operand.kind == "acc":
+            self.acc = value & 0xFF
+        elif operand.kind == "breg":
+            self.b = value & 0xFF
+        elif operand.kind == "reg":
+            self.registers[operand.value] = value & 0xFF
+        elif operand.kind == "dir":
+            self.iram[operand.value] = value & 0xFF
+        elif operand.kind == "dptr":
+            self.dptr = value & 0xFFFF
+        else:
+            raise ProcessorError(f"cannot write operand {operand!r}")
+
+    # -- instruction handlers (return next PC to jump, else None) --------------------
+
+    def _op_mov(self, ins: Instruction) -> Optional[int]:
+        dst, src = ins.operands
+        if dst.kind == "dptr":
+            self.dptr = src.value & 0xFFFF
+        else:
+            self._write(dst, self._read(src))
+        return None
+
+    def _op_movx(self, ins: Instruction) -> Optional[int]:
+        dst, src = ins.operands
+        address = self.dptr % XRAM_SIZE
+        if dst.kind == "acc":  # MOVX A, @DPTR
+            self.acc = self.xram[address]
+        else:  # MOVX @DPTR, A
+            self.xram[address] = self.acc & 0xFF
+        return None
+
+    def _op_add(self, ins: Instruction) -> Optional[int]:
+        total = self.acc + self._read(ins.operands[1])
+        self.carry = 1 if total > 0xFF else 0
+        self.acc = self._approx(total & 0xFF)
+        return None
+
+    def _op_addc(self, ins: Instruction) -> Optional[int]:
+        total = self.acc + self._read(ins.operands[1]) + self.carry
+        self.carry = 1 if total > 0xFF else 0
+        self.acc = self._approx(total & 0xFF)
+        return None
+
+    def _op_subb(self, ins: Instruction) -> Optional[int]:
+        total = self.acc - self._read(ins.operands[1]) - self.carry
+        self.carry = 1 if total < 0 else 0
+        self.acc = self._approx(total & 0xFF)
+        return None
+
+    def _op_mul(self, ins: Instruction) -> Optional[int]:
+        product = self.acc * self.b
+        self.acc = self._approx(product & 0xFF)
+        self.b = (product >> 8) & 0xFF
+        self.carry = 0
+        return None
+
+    def _op_anl(self, ins: Instruction) -> Optional[int]:
+        self.acc = (self.acc & self._read(ins.operands[1])) & 0xFF
+        return None
+
+    def _op_orl(self, ins: Instruction) -> Optional[int]:
+        self.acc = (self.acc | self._read(ins.operands[1])) & 0xFF
+        return None
+
+    def _op_xrl(self, ins: Instruction) -> Optional[int]:
+        self.acc = (self.acc ^ self._read(ins.operands[1])) & 0xFF
+        return None
+
+    def _op_inc(self, ins: Instruction) -> Optional[int]:
+        operand = ins.operands[0]
+        if operand.kind == "dptr":
+            self.dptr = (self.dptr + 1) & 0xFFFF
+        else:
+            self._write(operand, self._read(operand) + 1)
+        return None
+
+    def _op_dec(self, ins: Instruction) -> Optional[int]:
+        operand = ins.operands[0]
+        self._write(operand, self._read(operand) - 1)
+        return None
+
+    def _op_clr(self, ins: Instruction) -> Optional[int]:
+        if ins.operands[0].kind == "carry":
+            self.carry = 0
+        else:
+            self.acc = 0
+        return None
+
+    def _op_setb(self, ins: Instruction) -> Optional[int]:
+        self.carry = 1
+        return None
+
+    def _op_rl(self, ins: Instruction) -> Optional[int]:
+        self.acc = ((self.acc << 1) | (self.acc >> 7)) & 0xFF
+        return None
+
+    def _op_rr(self, ins: Instruction) -> Optional[int]:
+        self.acc = ((self.acc >> 1) | ((self.acc & 1) << 7)) & 0xFF
+        return None
+
+    def _op_swap(self, ins: Instruction) -> Optional[int]:
+        self.acc = ((self.acc << 4) | (self.acc >> 4)) & 0xFF
+        return None
+
+    def _op_sjmp(self, ins: Instruction) -> Optional[int]:
+        return ins.target
+
+    def _op_jz(self, ins: Instruction) -> Optional[int]:
+        return ins.target if self.acc == 0 else None
+
+    def _op_jnz(self, ins: Instruction) -> Optional[int]:
+        return ins.target if self.acc != 0 else None
+
+    def _op_jc(self, ins: Instruction) -> Optional[int]:
+        return ins.target if self.carry else None
+
+    def _op_jnc(self, ins: Instruction) -> Optional[int]:
+        return ins.target if not self.carry else None
+
+    def _op_cjne(self, ins: Instruction) -> Optional[int]:
+        left = self._read(ins.operands[0])
+        right = self._read(ins.operands[1])
+        if self.ac_bits < 8:
+            # Noisy comparison: both keys pass the reduced datapath.
+            left, right = self._approx(left), self._approx(right)
+        self.carry = 1 if left < right else 0
+        return ins.target if left != right else None
+
+    def _op_djnz(self, ins: Instruction) -> Optional[int]:
+        register = ins.operands[0]
+        value = (self._read(register) - 1) & 0xFF
+        self._write(register, value)
+        return ins.target if value != 0 else None
+
+    def _op_acall(self, ins: Instruction) -> Optional[int]:
+        # Classic 8051 call: push the return address onto the internal
+        # stack, low byte first.
+        return_pc = self.pc + 1
+        self.sp = (self.sp + 1) & 0xFF
+        self.iram[self.sp] = return_pc & 0xFF
+        self.sp = (self.sp + 1) & 0xFF
+        self.iram[self.sp] = (return_pc >> 8) & 0xFF
+        return ins.target
+
+    def _op_ret(self, ins: Instruction) -> Optional[int]:
+        high = self.iram[self.sp]
+        self.sp = (self.sp - 1) & 0xFF
+        low = self.iram[self.sp]
+        self.sp = (self.sp - 1) & 0xFF
+        return (high << 8) | low
+
+    def _op_push(self, ins: Instruction) -> Optional[int]:
+        self.sp = (self.sp + 1) & 0xFF
+        self.iram[self.sp] = self._read(ins.operands[0]) & 0xFF
+        return None
+
+    def _op_pop(self, ins: Instruction) -> Optional[int]:
+        self._write(ins.operands[0], self.iram[self.sp])
+        self.sp = (self.sp - 1) & 0xFF
+        return None
+
+    def _op_nop(self, ins: Instruction) -> Optional[int]:
+        return None
+
+    def _op_halt(self, ins: Instruction) -> Optional[int]:
+        self.halted = True
+        return self.pc  # stay put
+
+    # -- introspection ---------------------------------------------------------------
+
+    def register_dump(self) -> Dict[str, int]:
+        """The architectural registers, for debugging and tests."""
+        dump = {f"R{i}": v for i, v in enumerate(self.registers)}
+        dump.update(A=self.acc, B=self.b, C=self.carry, DPTR=self.dptr, PC=self.pc)
+        return dump

@@ -1,0 +1,153 @@
+"""Multi-version nonvolatile register file (Section 4).
+
+Each architectural register is widened from 8 to 32 bits — four 8-bit
+*versions*, one per incidental SIMD lane — built from nonvolatile
+logic, with an AC (approximable) bit per register and comparison
+circuits that report which registers of a stored version match the
+current values. The extensions are power-gated off when incidental
+computing is disabled.
+
+The version-comparison bit-vector, combined with a compiler-generated
+mask of key loop variables, is what the controller uses to decide that
+an old resume point has been "caught up to" and SIMD width can grow
+(see :mod:`repro.core.simd`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .._validation import check_int_in_range
+from ..errors import ProcessorError
+
+__all__ = ["MultiVersionRegisterFile"]
+
+
+class MultiVersionRegisterFile:
+    """Register file with ``versions`` banks of ``n_regs`` words.
+
+    Version 0 is the *current* (architectural) bank; versions 1-3 hold
+    the register state of suspended incidental computations.
+    """
+
+    def __init__(self, n_regs: int = 16, word_bits: int = 8, versions: int = 4) -> None:
+        self.n_regs = check_int_in_range(n_regs, "n_regs", 1, 64, exc=ProcessorError)
+        self.word_bits = check_int_in_range(word_bits, "word_bits", 1, 32, exc=ProcessorError)
+        self.versions = check_int_in_range(versions, "versions", 1, 4, exc=ProcessorError)
+        self._values = np.zeros((self.versions, self.n_regs), dtype=np.int64)
+        self._ac_bits = np.zeros(self.n_regs, dtype=bool)
+        # Version banks 1..3 are power-gated off until incidental
+        # computing claims them.
+        self._gated = np.ones(self.versions, dtype=bool)
+        self._gated[0] = False
+
+    # -- power gating ------------------------------------------------------
+
+    def power_on_version(self, version: int) -> None:
+        """Ungate a version bank for incidental use."""
+        v = check_int_in_range(version, "version", 1, self.versions - 1, exc=ProcessorError)
+        self._gated[v] = False
+
+    def power_off_version(self, version: int) -> None:
+        """Gate a version bank off again (its contents persist — NV logic)."""
+        v = check_int_in_range(version, "version", 1, self.versions - 1, exc=ProcessorError)
+        self._gated[v] = True
+
+    def is_gated(self, version: int) -> bool:
+        """Whether a version bank is currently power-gated."""
+        v = check_int_in_range(version, "version", 0, self.versions - 1, exc=ProcessorError)
+        return bool(self._gated[v])
+
+    @property
+    def active_version_count(self) -> int:
+        """Number of ungated banks (drives register-file power)."""
+        return int(np.count_nonzero(~self._gated))
+
+    # -- values and AC bits --------------------------------------------------
+
+    def write(self, version: int, reg: int, value: int) -> None:
+        """Write one register of one version (must be ungated)."""
+        v = check_int_in_range(version, "version", 0, self.versions - 1, exc=ProcessorError)
+        r = check_int_in_range(reg, "reg", 0, self.n_regs - 1, exc=ProcessorError)
+        if self._gated[v]:
+            raise ProcessorError(f"version {v} is power-gated; enable it before writing")
+        self._values[v, r] = int(value) & ((1 << self.word_bits) - 1)
+
+    def read(self, version: int, reg: int) -> int:
+        """Read one register of one version."""
+        v = check_int_in_range(version, "version", 0, self.versions - 1, exc=ProcessorError)
+        r = check_int_in_range(reg, "reg", 0, self.n_regs - 1, exc=ProcessorError)
+        return int(self._values[v, r])
+
+    def write_bank(self, version: int, values: np.ndarray) -> None:
+        """Replace a whole version bank (restore / lane capture)."""
+        v = check_int_in_range(version, "version", 0, self.versions - 1, exc=ProcessorError)
+        values = np.asarray(values, dtype=np.int64)
+        if values.shape != (self.n_regs,):
+            raise ProcessorError(f"bank shape must be ({self.n_regs},), got {values.shape}")
+        if self._gated[v]:
+            raise ProcessorError(f"version {v} is power-gated; enable it before writing")
+        self._values[v] = values & ((1 << self.word_bits) - 1)
+
+    def read_bank(self, version: int) -> np.ndarray:
+        """Copy out a whole version bank."""
+        v = check_int_in_range(version, "version", 0, self.versions - 1, exc=ProcessorError)
+        return self._values[v].copy()
+
+    def set_ac_bit(self, reg: int, approximable: bool) -> None:
+        """Mark a register approximable (set by the compiler from pragmas)."""
+        r = check_int_in_range(reg, "reg", 0, self.n_regs - 1, exc=ProcessorError)
+        self._ac_bits[r] = bool(approximable)
+
+    def ac_bit(self, reg: int) -> bool:
+        """Read a register's AC (approximable) bit."""
+        r = check_int_in_range(reg, "reg", 0, self.n_regs - 1, exc=ProcessorError)
+        return bool(self._ac_bits[r])
+
+    # -- comparison circuits ---------------------------------------------------
+
+    def compare_with_current(self, version: int, mask: Optional[np.ndarray] = None) -> np.ndarray:
+        """Bit-vector of registers where ``version`` equals the current bank.
+
+        ``mask`` restricts the comparison to compiler-selected key loop
+        variables; masked-out registers report ``True`` (don't-care),
+        so an all-true result means "match" exactly as the controller
+        expects.
+        """
+        v = check_int_in_range(version, "version", 1, self.versions - 1, exc=ProcessorError)
+        equal = self._values[v] == self._values[0]
+        if mask is None:
+            return equal
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self.n_regs,):
+            raise ProcessorError(f"mask shape must be ({self.n_regs},), got {mask.shape}")
+        return np.logical_or(equal, np.logical_not(mask))
+
+    def matches_current(self, version: int, mask: Optional[np.ndarray] = None) -> bool:
+        """True when every (masked) register of ``version`` matches."""
+        return bool(self.compare_with_current(version, mask=mask).all())
+
+    # -- backup support -----------------------------------------------------------
+
+    def state_bits(self) -> int:
+        """Nonvolatile bits needed to back up the ungated banks."""
+        return int(self.active_version_count * self.n_regs * self.word_bits + self.n_regs)
+
+    def snapshot(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Copy out (values, ac_bits, gated) for backup."""
+        return self._values.copy(), self._ac_bits.copy(), self._gated.copy()
+
+    def restore(self, values: np.ndarray, ac_bits: np.ndarray, gated: np.ndarray) -> None:
+        """Load a snapshot produced by :meth:`snapshot`."""
+        values = np.asarray(values, dtype=np.int64)
+        ac_bits = np.asarray(ac_bits, dtype=bool)
+        gated = np.asarray(gated, dtype=bool)
+        if values.shape != self._values.shape:
+            raise ProcessorError("register snapshot shape mismatch")
+        if ac_bits.shape != self._ac_bits.shape or gated.shape != self._gated.shape:
+            raise ProcessorError("register metadata shape mismatch")
+        self._values[...] = values
+        self._ac_bits[...] = ac_bits
+        self._gated[...] = gated

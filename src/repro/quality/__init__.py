@@ -1,0 +1,19 @@
+"""Output-quality metrics and QoS targets.
+
+MSE and PSNR against the 8-bit non-approximate baseline (Section 8.1),
+plus the Table 2 QoS-target machinery (PSNR floors for the image
+kernels, compressed-size ceiling for JPEG).
+"""
+
+from .metrics import mse, psnr, size_ratio
+from .qos import QoSTarget, TABLE2_POLICIES, TunedPolicy, evaluate_qos
+
+__all__ = [
+    "mse",
+    "psnr",
+    "size_ratio",
+    "QoSTarget",
+    "TunedPolicy",
+    "TABLE2_POLICIES",
+    "evaluate_qos",
+]

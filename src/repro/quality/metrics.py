@@ -1,0 +1,55 @@
+"""Quality metrics: MSE, PSNR, and compressed-size ratio.
+
+The paper's quality analysis (Section 8.1) uses mean squared error and
+peak signal-to-noise ratio against the kernel's own 8-bit full-
+precision output; "above 20-40 dB is considered a good PSNR response".
+It also notes the metric asymmetry we reproduce: MSE punishes the
+*loss* of detail (memory truncation) harder than added noise (ALU),
+while PSNR reacts similarly to both.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import QualityError
+
+__all__ = ["mse", "psnr", "size_ratio", "PSNR_CAP_DB"]
+
+#: PSNR reported for identical images (the metric diverges at zero MSE).
+PSNR_CAP_DB: float = 99.0
+
+
+def _check_pair(reference: np.ndarray, candidate: np.ndarray):
+    reference = np.asarray(reference, dtype=np.float64)
+    candidate = np.asarray(candidate, dtype=np.float64)
+    if reference.shape != candidate.shape:
+        raise QualityError(
+            f"shape mismatch: reference {reference.shape} vs candidate {candidate.shape}"
+        )
+    if reference.size == 0:
+        raise QualityError("cannot score empty images")
+    return reference, candidate
+
+
+def mse(reference: np.ndarray, candidate: np.ndarray) -> float:
+    """Mean squared error between two images of equal shape."""
+    reference, candidate = _check_pair(reference, candidate)
+    return float(np.mean((reference - candidate) ** 2))
+
+
+def psnr(reference: np.ndarray, candidate: np.ndarray, peak: float = 255.0) -> float:
+    """Peak signal-to-noise ratio in dB (capped at :data:`PSNR_CAP_DB`)."""
+    if peak <= 0:
+        raise QualityError("peak must be positive")
+    error = mse(reference, candidate)
+    if error <= 0.0:
+        return PSNR_CAP_DB
+    return float(min(PSNR_CAP_DB, 10.0 * np.log10(peak * peak / error)))
+
+
+def size_ratio(baseline_bits: int, candidate_bits: int) -> float:
+    """Compressed-size ratio (candidate / baseline), the JPEG QoS metric."""
+    if baseline_bits <= 0 or candidate_bits <= 0:
+        raise QualityError("sizes must be positive bit counts")
+    return candidate_bits / baseline_bits

@@ -1,0 +1,138 @@
+"""QoS targets and the fine-tuned incidental policies of Table 2.
+
+The paper's Table 2 records, per testbench, the QoS target the
+programmer tuned for, the chosen ``minbits``, the number of
+recomputation passes, and the incidental-backup retention policy:
+
+=========  ==================  =======  =========  ========
+Testbench  Target QoS          MinBits  Recompute  Backup
+=========  ==================  =======  =========  ========
+integral   PSNR 20 dB          2        no         parabola
+median     PSNR 50 dB          4        2 times    linear
+sobel      PSNR 8 dB           4        2 times    linear
+jpeg       size <= 150 %       3        no         log
+=========  ==================  =======  =========  ========
+
+The JPEG target was the one the paper itself could not always meet
+(97 % of frames passed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .._validation import check_int_in_range, check_non_negative
+from ..errors import QualityError
+
+__all__ = ["QoSTarget", "TunedPolicy", "TABLE2_POLICIES", "evaluate_qos"]
+
+
+@dataclass(frozen=True)
+class QoSTarget:
+    """A quality floor/ceiling for one kernel.
+
+    Exactly one of ``min_psnr_db`` (floor) or ``max_size_ratio``
+    (ceiling) is set.
+    """
+
+    min_psnr_db: Optional[float] = None
+    max_size_ratio: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if (self.min_psnr_db is None) == (self.max_size_ratio is None):
+            raise QualityError(
+                "exactly one of min_psnr_db / max_size_ratio must be set"
+            )
+        if self.min_psnr_db is not None:
+            check_non_negative(self.min_psnr_db, "min_psnr_db", exc=QualityError)
+        if self.max_size_ratio is not None and self.max_size_ratio < 1.0:
+            raise QualityError("max_size_ratio below 1 would reject the baseline")
+
+    def met_by_psnr(self, psnr_db: float) -> bool:
+        """Whether a PSNR measurement satisfies the target."""
+        if self.min_psnr_db is None:
+            raise QualityError("this target is a size target, not a PSNR target")
+        return psnr_db >= self.min_psnr_db
+
+    def met_by_size_ratio(self, ratio: float) -> bool:
+        """Whether a compressed-size ratio satisfies the target."""
+        if self.max_size_ratio is None:
+            raise QualityError("this target is a PSNR target, not a size target")
+        return ratio <= self.max_size_ratio
+
+    def describe(self) -> str:
+        """Human-readable form, Table 2 style."""
+        if self.min_psnr_db is not None:
+            return f"PSNR {self.min_psnr_db:g}dB"
+        return f"{100 * self.max_size_ratio:.0f}% Size"
+
+
+@dataclass(frozen=True)
+class TunedPolicy:
+    """One Table 2 row: the programmer's tuned incidental policy."""
+
+    kernel: str
+    target: QoSTarget
+    minbits: int
+    recompute_passes: int
+    backup_policy: str
+
+    def __post_init__(self) -> None:
+        check_int_in_range(self.minbits, "minbits", 1, 8, exc=QualityError)
+        check_int_in_range(self.recompute_passes, "recompute_passes", 0, 16, exc=QualityError)
+        if self.backup_policy not in ("linear", "log", "parabola"):
+            raise QualityError(f"unknown backup policy {self.backup_policy!r}")
+
+
+#: The fine-tuned policies of Table 2, keyed by kernel name.
+TABLE2_POLICIES: Dict[str, TunedPolicy] = {
+    "integral": TunedPolicy(
+        kernel="integral",
+        target=QoSTarget(min_psnr_db=20.0),
+        minbits=2,
+        recompute_passes=0,
+        backup_policy="parabola",
+    ),
+    "median": TunedPolicy(
+        kernel="median",
+        target=QoSTarget(min_psnr_db=50.0),
+        minbits=4,
+        recompute_passes=2,
+        backup_policy="linear",
+    ),
+    "sobel": TunedPolicy(
+        kernel="sobel",
+        target=QoSTarget(min_psnr_db=8.0),
+        minbits=4,
+        recompute_passes=2,
+        backup_policy="linear",
+    ),
+    "jpeg_encode": TunedPolicy(
+        kernel="jpeg_encode",
+        target=QoSTarget(max_size_ratio=1.5),
+        minbits=3,
+        recompute_passes=0,
+        backup_policy="log",
+    ),
+}
+
+
+def evaluate_qos(
+    policy: TunedPolicy,
+    psnr_db: Optional[float] = None,
+    size_ratio_value: Optional[float] = None,
+) -> bool:
+    """Check a measurement against a tuned policy's target.
+
+    Pass ``psnr_db`` for image kernels and ``size_ratio_value`` for
+    JPEG; supplying the wrong kind raises, so experiments cannot
+    silently score the wrong metric.
+    """
+    if policy.target.min_psnr_db is not None:
+        if psnr_db is None:
+            raise QualityError(f"{policy.kernel} QoS needs a PSNR measurement")
+        return policy.target.met_by_psnr(psnr_db)
+    if size_ratio_value is None:
+        raise QualityError(f"{policy.kernel} QoS needs a size-ratio measurement")
+    return policy.target.met_by_size_ratio(size_ratio_value)

@@ -1,0 +1,33 @@
+"""System-level simulator.
+
+Reproduces the second half of the paper's simulation framework
+(Figure 10): a discrete-time (0.1 ms tick) model of the analog front
+end, storage capacitor, and threshold-driven OFF/RESTORE/RUN/BACKUP
+state machine that drives the behavioral NVP, producing the output
+metrics the paper reports — forward progress, number of backups, and
+system-on time. The wait-compute baseline of Section 2.2 lives here
+too.
+"""
+
+from .config import SystemConfig
+from .states import SystemState
+from .metrics import SimulationResult
+from .simulator import (
+    BitAllocator,
+    FixedBitAllocator,
+    NVPSystemSimulator,
+    simulate_fixed_bits,
+)
+from .wait_compute import WaitComputeResult, WaitComputeSimulator
+
+__all__ = [
+    "SystemConfig",
+    "SystemState",
+    "SimulationResult",
+    "BitAllocator",
+    "FixedBitAllocator",
+    "NVPSystemSimulator",
+    "simulate_fixed_bits",
+    "WaitComputeResult",
+    "WaitComputeSimulator",
+]

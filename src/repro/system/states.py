@@ -1,0 +1,21 @@
+"""Execution states of the NVP system state machine."""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = ["SystemState"]
+
+
+class SystemState(Enum):
+    """States of the OFF/RESTORE/RUN/BACKUP machine.
+
+    ``OFF`` covers both dead and charging (the capacitor charges
+    whenever income arrives, regardless of state); ``RESTORE`` and
+    ``BACKUP`` each occupy the tick in which their energy is spent.
+    """
+
+    OFF = "off"
+    RESTORE = "restore"
+    RUN = "run"
+    BACKUP = "backup"

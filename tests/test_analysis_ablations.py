@@ -1,0 +1,65 @@
+"""Shape tests for the ablation studies."""
+
+import math
+
+import pytest
+
+from repro.analysis import experiments as E
+
+
+class TestMechanismAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return E.ablation_mechanisms(duration_s=5.0)
+
+    def test_simd_is_the_dominant_mechanism(self, result):
+        gains = result.data["gains"]
+        simd_contribution = gains["full incidental"] / gains["no SIMD lanes"]
+        backup_contribution = gains["full incidental"] / gains["precise backups"]
+        assert simd_contribution > backup_contribution
+
+    def test_everything_off_is_the_baseline(self, result):
+        gains = result.data["gains"]
+        assert 0.8 <= gains["no SIMD + precise backups"] <= 1.3
+
+    def test_shaped_backups_cut_the_share(self, result):
+        rows = {row[0]: row for row in result.rows}
+        assert rows["full incidental"][3] < rows["precise backups"][3]
+
+
+class TestBufferAblation:
+    def test_gain_grows_with_capacity(self):
+        result = E.ablation_buffer_capacity(duration_s=5.0)
+        gains = result.data["gains"]
+        assert gains[4] > gains[1]
+        # Mean lane width tracks capacity + 1 (the current lane).
+        widths = {row[0]: row[2] for row in result.rows}
+        assert widths[4] > widths[1]
+
+
+class TestRetentionScaleAblation:
+    def test_quality_cost_tradeoff(self):
+        result = E.ablation_retention_scale(scales=(1.0, 8.0))
+        by_scale = result.data["by_scale"]
+        psnr_1, cost_1 = by_scale[1.0]
+        psnr_8, cost_8 = by_scale[8.0]
+        assert not math.isnan(psnr_8)
+        # Longer retention: better quality, pricier backups.
+        assert psnr_8 > psnr_1
+        assert cost_8 > cost_1
+
+
+class TestHarvesterSourceAblation:
+    def test_gain_generalises_across_sources(self):
+        result = E.ablation_harvester_sources(duration_s=4.0)
+        for source, gain in result.data["gains"].items():
+            assert gain > 1.3, source
+        assert set(result.data["gains"]) == {"wristwatch", "solar", "rf", "thermal"}
+
+
+class TestRecoverPlacementAblation:
+    def test_section6_guidance_reproduces(self):
+        result = E.ablation_recover_placement(duration_s=6.0)
+        outcomes = result.data["outcomes"]
+        assert outcomes[("rf", "inner")][0] >= outcomes[("rf", "frame")][0]
+        assert outcomes[("solar", "frame")][0] >= 1

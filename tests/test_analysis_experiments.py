@@ -1,0 +1,236 @@
+"""Shape-target tests for every experiment runner.
+
+These are the reproduction's acceptance tests: each asserts the
+*qualitative* properties the paper pins down for its figure or table
+(orderings, crossovers, approximate factors) on shortened runs. The
+benchmark harness regenerates the full-size artifacts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import experiments as E
+
+
+class TestFig02:
+    def test_profile_statistics(self):
+        result = E.fig02_power_profiles(duration_s=10.0)
+        assert len(result.rows) == 5
+        for mean in result.data["means"]:
+            assert 8.0 <= mean <= 45.0
+        for count in result.data["emergencies"]:
+            assert 300 <= count <= 2000
+
+
+class TestFig03:
+    def test_duration_distribution(self):
+        result = E.fig03_outage_statistics()
+        histogram = result.data["histogram"]
+        # Mass concentrated at short outages, with a long tail.
+        assert histogram[0] == max(histogram)
+        assert result.data["max"] > 1000
+        assert result.data["median"] < 200
+
+
+class TestFig04:
+    def test_write_energy_saving(self):
+        result = E.fig04_sttram_write()
+        assert 0.70 <= result.data["saving_1day_to_10ms"] <= 0.82
+
+    def test_current_orderings(self):
+        result = E.fig04_sttram_write()
+        for row in result.rows:
+            currents = row[1:5]
+            assert list(currents) == sorted(currents, reverse=True)
+        # Longer retention costs more at every pulse width.
+        by_retention = [row[1] for row in result.rows]
+        assert by_retention == sorted(by_retention)
+
+
+class TestFig05:
+    def test_shaping_curves(self):
+        result = E.fig05_retention_shaping()
+        for row in result.rows:
+            _bit, linear, log, parabola = row
+            assert log <= linear
+        rel = result.data["relative_energy"]
+        assert rel["log"] < rel["linear"] < rel["parabola"]
+
+
+class TestSec22:
+    def test_nvp_beats_wait_compute(self):
+        result = E.sec22_wait_compute(profile_ids=(1, 4), duration_s=6.0)
+        for ratio in result.data["ratios"]:
+            assert ratio > 1.5
+
+
+class TestFig09:
+    def test_on_time_ordering(self):
+        result = E.fig09_timing_behavior(duration_s=10.0, window_ticks=10_000)
+        on = result.data["on_fractions"]
+        # Small tolerance: a1's threshold sits just above the baseline's.
+        assert on["8-bit NVP"] * 1.05 >= on["incidental (a1,b) [2..8]"]
+        assert on["incidental (a1,b) [2..8]"] >= on["incidental (a2,b) [6..8]"]
+        assert on["incidental (a2,b) [6..8]"] >= on["4-SIMD NVP"]
+
+    def test_a1_has_highest_total_progress(self):
+        """The paper's 3.7x FP observation for pragmas (a1,b)."""
+        result = E.fig09_timing_behavior(duration_s=10.0, window_ticks=10_000)
+        totals = result.data["total_progress"]
+        assert totals["incidental (a1,b) [2..8]"] == max(totals.values())
+        assert totals["incidental (a1,b) [2..8]"] > 2.0 * totals["8-bit NVP"]
+
+
+class TestFig12:
+    def test_alu_quality_targets(self):
+        result = E.fig12_alu_quality(bits_list=(6, 4, 1))
+        data = result.data
+        # Median and integral usable at 1 bit (paper: >= ~20 dB).
+        assert data["median"][1][1] > 20.0
+        assert data["integral"][1][1] > 17.0
+        # Sobel collapses; needs ~6 bits for good quality.
+        assert data["sobel"][1][1] < 20.0
+        assert data["sobel"][6][1] > 40.0
+        # 40 dB at 4-6 bits for the tolerant kernels.
+        assert data["median"][4][1] > 35.0
+        assert data["integral"][4][1] > 40.0
+
+
+class TestFig14:
+    def test_truncation_asymmetry(self):
+        """Memory truncation hurts MSE more than ALU noise (median/integral)."""
+        alu = E.fig12_alu_quality(bits_list=(2,)).data
+        memory = E.fig14_memory_quality(bits_list=(2,)).data
+        for kernel in ("median", "integral"):
+            assert memory[kernel][2][0] > alu[kernel][2][0]
+
+
+class TestFig15:
+    def test_progress_roughly_doubles(self):
+        result = E.fig15_forward_progress(
+            profile_ids=(1, 2), bits_list=(8, 4, 1), duration_s=6.0
+        )
+        for pid in (1, 2):
+            fp = result.data["fp"][pid]
+            ratio = fp[1] / fp[8]
+            assert 1.6 <= ratio <= 3.2
+            assert fp[8] <= fp[4] <= fp[1]
+
+
+class TestFig16:
+    def test_backups_decrease_with_fewer_bits(self):
+        result = E.fig16_backup_counts(
+            profile_ids=(1, 2), bits_list=(8, 1), duration_s=6.0
+        )
+        for pid in (1, 2):
+            backups = result.data["backups"][pid]
+            assert backups[1] < backups[8]
+
+
+class TestFig18:
+    def test_bimodal_utilisation(self):
+        result = E.fig18_bit_utilization(profile_ids=(1,), duration_s=6.0)
+        util = result.data["utilization"][1]
+        # OFF dominates; the active mass is bimodal (8-bit and minbits),
+        # with a sparse middle.
+        assert util[0] > 0.5
+        middle = sum(util[level] for level in range(2, 8))
+        assert util[8] > middle / 3
+        assert util[1] > middle / 3
+
+
+class TestFig20:
+    def test_dynamic_matches_low_fixed_quality(self):
+        result = E.fig20_dynamic_vs_fixed(profile_ids=(1,), duration_s=6.0)
+        _pid, _mse, dyn_psnr, *_ = result.rows[0]
+        # Paper: dynamic quality is comparable to a 2-bit fixed run
+        # (~35 dB on our median); FP lands in the same ballpark.
+        assert 28.0 <= dyn_psnr <= 42.0
+        for gain in result.data["fp_gains"]:
+            assert 0.5 <= gain <= 1.5
+
+
+class TestFig21:
+    def test_minbits4_beats_fixed7(self):
+        """Paper: ~22% more FP than the similar-quality 7-bit fixed."""
+        result = E.fig20_dynamic_vs_fixed(
+            profile_ids=(1, 2), duration_s=6.0, minbits=4, equivalent_fixed_bits=7
+        )
+        for gain in result.data["fp_gains"]:
+            assert gain > 1.02
+
+
+class TestFig22:
+    def test_failure_shape(self):
+        result = E.fig22_retention_failures(profile_ids=(1,), duration_s=6.0)
+        failures = result.data["failures"]
+        for policy in ("linear", "log", "parabola"):
+            per_bit = failures[policy][1]
+            assert per_bit[0] >= per_bit[4] >= per_bit[7]
+        # Log's LSB dominates everything (Figure 22's giant bar).
+        assert failures["log"][1][0] > failures["linear"][1][0]
+        assert failures["log"][1][0] > failures["parabola"][1][0]
+
+
+class TestFig25:
+    def test_retention_shaping_gains(self):
+        result = E.fig25_fp_retention(profile_ids=(1, 2), duration_s=6.0)
+        gains = result.data["gains"]
+        for policy in ("linear", "log", "parabola"):
+            for gain in gains[policy]:
+                assert 1.1 <= gain <= 1.8
+        # Figure 25 ordering: log frees the most energy, parabola least.
+        for i in range(len(gains["log"])):
+            assert gains["log"][i] >= gains["parabola"][i] - 1e-9
+
+
+class TestFig27:
+    def test_recompute_improves_and_saturates(self):
+        result = E.fig27_recomputation(
+            duration_s=6.0, minbits_list=(2,), passes=6
+        )
+        series = result.data["psnr"][2]
+        assert all(series[i + 1] >= series[i] - 1e-9 for i in range(len(series) - 1))
+        assert series[-1] - series[0] > 2.0
+        # Early passes buy more than late ones (Figure 27 saturation).
+        early = series[2] - series[0]
+        late = series[-1] - series[-3]
+        assert early >= late - 2.5
+
+
+class TestTable2:
+    def test_all_targets_met(self):
+        result = E.table2_qos(profile_ids=(1, 2), duration_s=6.0)
+        for name, record in result.data.items():
+            assert record["met"], f"{name} missed its QoS target"
+
+
+@pytest.mark.slow
+class TestFig28:
+    def test_incidental_gain(self):
+        result = E.fig28_overall_gain(
+            kernel_names=("median", "integral"),
+            profile_ids=(1, 2),
+            duration_s=5.0,
+        )
+        assert result.data["average"] > 2.0
+        for gains in result.data["per_kernel"].values():
+            for gain in gains:
+                assert gain > 1.5
+
+
+class TestSec7:
+    def test_paradigm_ordering(self):
+        result = E.sec7_frame_rates(
+            kernel_names=("susan_corners",), duration_s=6.0
+        )
+        wait_s, nvp_s, incidental_s = result.data["rates"]["susan_corners"]
+        assert wait_s > nvp_s > incidental_s
+
+
+class TestResultWrapper:
+    def test_as_table_renders(self):
+        result = E.fig05_retention_shaping()
+        text = result.as_table()
+        assert text.startswith("[fig05]")
+        assert "parabola" in text

@@ -1,0 +1,35 @@
+"""Tests for the text-table reporting helpers."""
+
+from repro.analysis.reporting import format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(("a", "bbb"), [(1, 2), (333, 4)])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert set(lines[1].replace(" ", "")) == {"-"}
+
+    def test_float_formatting(self):
+        table = format_table(("x",), [(3.14159,), (12345.6,), (0.001,)])
+        assert "3.14" in table
+        assert "1.23e+04" in table
+        assert "0.001" in table
+
+    def test_bool_rendering(self):
+        table = format_table(("ok",), [(True,), (False,)])
+        assert "yes" in table and "no" in table
+
+    def test_zero(self):
+        assert "0" in format_table(("x",), [(0.0,)])
+
+    def test_no_trailing_whitespace(self):
+        table = format_table(("a", "b"), [("x", 1)])
+        assert all(line == line.rstrip() for line in table.splitlines())
+
+
+class TestFormatSeries:
+    def test_basic(self):
+        out = format_series("util", {0: 0.5, 8: 0.25})
+        assert out == "util: 0=0.50 8=0.25"

@@ -1,0 +1,75 @@
+"""Tests for the QoS-frontier design-space sweep."""
+
+import pytest
+
+from repro.analysis.sweeps import qos_frontier
+from repro.errors import ConfigurationError
+from repro.kernels import MedianKernel, SobelKernel
+
+
+@pytest.fixture(scope="module")
+def median_frontier():
+    from repro.energy.traces import standard_profile
+
+    return qos_frontier(
+        MedianKernel(),
+        target_psnr_db=35.0,
+        trace=standard_profile(1, duration_s=3.0),
+        minbits_values=(2, 4),
+        recompute_values=(0, 2),
+        image_size=32,
+    )
+
+
+class TestFrontier:
+    def test_point_count(self, median_frontier):
+        # 2 minbits x 2 recompute x 3 policies.
+        assert len(median_frontier.points) == 12
+
+    def test_quality_grows_with_minbits_and_passes(self, median_frontier):
+        by_config = {
+            (p.minbits, p.recompute_passes): p.psnr_db
+            for p in median_frontier.points
+            if p.backup_policy == "linear"
+        }
+        assert by_config[(4, 0)] >= by_config[(2, 0)]
+        assert by_config[(2, 2)] >= by_config[(2, 0)]
+
+    def test_fp_independent_of_quality_knobs(self, median_frontier):
+        """FP depends only on the backup policy in the sweep model."""
+        fps = {
+            p.backup_policy: set()
+            for p in median_frontier.points
+        }
+        for point in median_frontier.points:
+            fps[point.backup_policy].add(point.forward_progress)
+        for values in fps.values():
+            assert len(values) == 1
+
+    def test_best_meets_target_with_max_fp(self, median_frontier):
+        best = median_frontier.best
+        assert best is not None
+        assert best.meets_target
+        for point in median_frontier.feasible:
+            assert best.forward_progress >= point.forward_progress
+
+    def test_tuned_policy_row(self, median_frontier):
+        policy = median_frontier.tuned_policy()
+        assert policy.kernel == "median"
+        assert policy.minbits in (2, 4)
+        assert policy.backup_policy in ("linear", "log", "parabola")
+
+    def test_infeasible_target_raises(self):
+        from repro.energy.traces import standard_profile
+
+        frontier = qos_frontier(
+            SobelKernel(),
+            target_psnr_db=98.0,  # unreachable under approximation
+            trace=standard_profile(1, duration_s=2.0),
+            minbits_values=(2,),
+            recompute_values=(0,),
+            image_size=32,
+        )
+        assert frontier.best is None
+        with pytest.raises(ConfigurationError):
+            frontier.tuned_policy()

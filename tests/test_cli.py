@@ -1,0 +1,56 @@
+"""Tests for the repro-experiments command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENT_RUNNERS, main
+
+
+class TestList:
+    def test_lists_every_artifact(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for artifact_id in EXPERIMENT_RUNNERS:
+            assert artifact_id in out
+
+    def test_registry_covers_the_paper(self):
+        # Every evaluation figure/table has a CLI entry.
+        expected = {
+            "fig02", "fig03", "fig04", "fig05", "sec2.2", "fig09", "fig12",
+            "fig14", "fig15", "fig16", "fig18", "fig20", "fig21", "fig22",
+            "fig24", "fig25", "fig27", "table2", "fig28", "sec7",
+        }
+        assert expected <= set(EXPERIMENT_RUNNERS)
+
+
+class TestRun:
+    def test_runs_a_fast_artifact(self, capsys):
+        assert main(["run", "fig05"]) == 0
+        out = capsys.readouterr().out
+        assert "[fig05]" in out
+        assert "parabola" in out
+
+    def test_runs_several(self, capsys):
+        assert main(["run", "fig04", "fig05"]) == 0
+        out = capsys.readouterr().out
+        assert "[fig04]" in out and "[fig05]" in out
+
+    def test_unknown_artifact_fails_cleanly(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown artifact" in capsys.readouterr().err
+
+
+class TestInfoCommands:
+    def test_profiles(self, capsys):
+        assert main(["profiles"]) == 0
+        out = capsys.readouterr().out
+        assert "profile-1" in out and "profile-5" in out
+
+    def test_calibration(self, capsys):
+        assert main(["calibration"]) == 0
+        out = capsys.readouterr().out
+        assert "209" in out  # the 0.209 mW anchor
+        assert "linear" in out
+
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,94 @@
+"""Tests for the power-to-configuration advisor (Section 8.6)."""
+
+import pytest
+
+from repro.core.advisor import KERNEL_TOLERANCE, PolicyAdvisor, TraceFeatures
+from repro.energy.traces import standard_profile
+from repro.errors import ConfigurationError
+from repro.kernels.registry import KERNEL_NAMES
+
+
+class TestTraceFeatures:
+    def test_sampled_from_trace(self, trace1):
+        features = TraceFeatures.from_trace(trace1)
+        assert features.mean_power_uw > 0
+        assert 0.0 <= features.burst_fraction <= 1.0
+        assert features.emergencies_per_10s > 0
+
+    def test_energy_classes(self):
+        high = TraceFeatures(40.0, 0.2, 30.0, 1000.0)
+        low = TraceFeatures(15.0, 0.1, 40.0, 700.0)
+        assert high.energy_class == "high"
+        assert low.energy_class == "low"
+
+
+class TestRuleTable:
+    def test_section86_rule(self):
+        """Linear for energetic profiles (1, 4); parabola for weak
+        profiles (2, 3, 5)."""
+        advisor = PolicyAdvisor()
+        for pid, expected in ((1, "linear"), (4, "linear"),
+                              (2, "parabola"), (3, "parabola"), (5, "parabola")):
+            features = TraceFeatures.from_trace(standard_profile(pid, duration_s=2.0))
+            assert advisor.backup_policy_for(features) == expected, pid
+
+    def test_minbits_follow_tolerance(self):
+        advisor = PolicyAdvisor()
+        assert advisor.minbits_for("tiff2bw") == 2   # tolerant
+        assert advisor.minbits_for("fft") == 3       # moderate
+        assert advisor.minbits_for("susan_edges") == 4  # fragile
+
+    def test_table2_rows_override_tolerance(self):
+        advisor = PolicyAdvisor()
+        assert advisor.minbits_for("median") == 4    # Table 2, not class
+        assert advisor.minbits_for("integral") == 2
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PolicyAdvisor().minbits_for("bilateral")
+
+    def test_tolerance_covers_whole_suite(self):
+        assert set(KERNEL_TOLERANCE) >= set(KERNEL_NAMES)
+
+
+class TestAdvise:
+    def test_full_configuration(self, trace1):
+        advisor = PolicyAdvisor()
+        policy = advisor.advise(trace1, "median")
+        assert policy.kernel == "median"
+        assert policy.backup_policy in ("linear", "parabola")
+        assert 1 <= policy.minbits <= 8
+
+    def test_every_kernel_advisable(self, trace1):
+        advisor = PolicyAdvisor()
+        for name in KERNEL_NAMES:
+            policy = advisor.advise(trace1, name)
+            assert policy.backup_policy in ("linear", "log", "parabola")
+
+
+class TestCalibration:
+    def test_learned_entry_overrides_rule(self, trace1):
+        advisor = PolicyAdvisor()
+        best = advisor.calibrate(trace1, sample_ticks=8_000)
+        assert best in ("linear", "log", "parabola")
+        features = TraceFeatures.from_trace(trace1)
+        assert advisor.backup_policy_for(features) == best
+        assert advisor.learned_table[features.energy_class] == best
+
+    def test_sample_size_validated(self, trace1):
+        with pytest.raises(ConfigurationError):
+            PolicyAdvisor().calibrate(trace1, sample_ticks=10)
+
+    def test_calibration_picks_a_shaped_winner(self, trace1):
+        """Any shaped policy beats precise, and the winner is the
+        measured-best among candidates."""
+        from repro.nvm.retention import policy_by_name
+        from repro.system.simulator import simulate_fixed_bits
+
+        advisor = PolicyAdvisor()
+        best = advisor.calibrate(trace1, sample_ticks=10_000)
+        prefix = trace1.segment(0, 10_000)
+        best_fp = simulate_fixed_bits(prefix, 8, policy=policy_by_name(best)).forward_progress
+        for other in ("linear", "log", "parabola"):
+            fp = simulate_fixed_bits(prefix, 8, policy=policy_by_name(other)).forward_progress
+            assert best_fp >= fp

@@ -1,0 +1,155 @@
+"""Tests for the approximation control unit and bit allocators."""
+
+import pytest
+
+from repro.core.controller import (
+    ApproximationControlUnit,
+    DynamicBitAllocator,
+    IncidentalAllocator,
+)
+from repro.nvp.energy_model import EnergyModel
+
+
+@pytest.fixture()
+def control():
+    return ApproximationControlUnit()
+
+
+class TestPowerBudget:
+    def test_income_passes_through(self, control):
+        budget = control.power_budget_uw(150.0, stored_uj=0.8, capacity_uj=4.5)
+        assert budget == pytest.approx(150.0)
+
+    def test_surplus_drawdown_added(self, control):
+        comfort = control.comfort_fill * 4.5
+        budget = control.power_budget_uw(0.0, stored_uj=comfort + 0.4, capacity_uj=4.5)
+        expected = 0.4 / (control.drawdown_horizon_ticks * 1e-4)
+        assert budget == pytest.approx(expected)
+
+    def test_reserve_floor_zeroes_budget(self, control):
+        low = control.reserve_fill * 4.5 * 0.5
+        assert control.power_budget_uw(300.0, stored_uj=low, capacity_uj=4.5) == 0.0
+
+
+class TestBitsForBudget:
+    def test_rich_budget_gives_maxbits(self, control):
+        assert control.bits_for_budget(10_000.0, 1, 8) == 8
+
+    def test_zero_budget_gives_minbits(self, control):
+        """The pragma's minimum quality is guaranteed regardless."""
+        assert control.bits_for_budget(0.0, 3, 8) == 3
+
+    def test_intermediate_budget_intermediate_bits(self, control):
+        model = control.energy_model
+        p4 = model.uniform_run_power_uw(4)
+        bits = control.bits_for_budget(p4 + 1.0, 1, 8)
+        assert 4 <= bits < 8
+
+    def test_monotone_in_budget(self, control):
+        budgets = [50.0, 120.0, 180.0, 250.0, 400.0]
+        bits = [control.bits_for_budget(b, 1, 8) for b in budgets]
+        assert bits == sorted(bits)
+
+    def test_ac_disabled_forces_max(self, control):
+        control.ac_enabled = False
+        assert control.bits_for_budget(0.0, 1, 8) == 8
+
+    def test_incremental_with_base_lanes(self, control):
+        model = control.energy_model
+        base = [8]
+        increment_2bit = model.run_power_uw([8, 2]) - model.run_power_uw([8])
+        bits = control.bits_for_budget(increment_2bit + 0.5, 1, 8, base_lanes=base)
+        assert bits >= 2
+
+    def test_lane_affordable(self, control):
+        assert control.lane_affordable(10_000.0, [8], 2)
+        assert not control.lane_affordable(0.5, [8], 2)
+
+
+class TestDynamicBitAllocator:
+    def test_start_at_minbits(self):
+        allocator = DynamicBitAllocator(3, 8)
+        assert allocator.start_lane_bits() == [3]
+
+    def test_single_lane_always(self):
+        allocator = DynamicBitAllocator(1, 8)
+        lanes = allocator.allocate(200.0, 2.0, 0)
+        assert len(lanes) == 1
+
+    def test_respects_bounds(self):
+        allocator = DynamicBitAllocator(4, 6)
+        for income in (0.0, 100.0, 500.0, 2000.0):
+            bits = allocator.allocate(income, 1.0, 0)[0]
+            assert 4 <= bits <= 6
+
+    def test_minbits_validated(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            DynamicBitAllocator(6, 4)
+
+
+class TestIncidentalAllocator:
+    def test_start_includes_one_lane(self):
+        allocator = IncidentalAllocator(2, 8)
+        assert allocator.start_lane_bits() == [8, 2]
+
+    def test_start_single_when_width_one(self):
+        allocator = IncidentalAllocator(2, 8, max_width=1)
+        assert allocator.start_lane_bits() == [8]
+
+    def test_no_pending_no_lanes(self):
+        allocator = IncidentalAllocator(2, 8)
+        allocator.pending_lanes = 0
+        assert allocator.allocate(500.0, 3.0, 0) == [8]
+
+    def test_pending_attaches_lanes(self):
+        allocator = IncidentalAllocator(2, 8)
+        allocator.pending_lanes = 3
+        lanes = allocator.allocate(500.0, 3.0, 0)
+        assert len(lanes) == 4
+        assert lanes[0] == 8
+        assert all(2 <= b <= 8 for b in lanes[1:])
+
+    def test_pending_capped_by_width(self):
+        allocator = IncidentalAllocator(2, 8, max_width=2)
+        allocator.pending_lanes = 3
+        assert len(allocator.allocate(500.0, 3.0, 0)) == 2
+
+    def test_near_reserve_suppresses_lanes(self):
+        allocator = IncidentalAllocator(2, 8)
+        allocator.pending_lanes = 3
+        lanes = allocator.allocate(500.0, 0.1, 0)  # nearly drained
+        assert lanes == [8]
+
+    def test_richer_budget_higher_lane_bits(self):
+        allocator = IncidentalAllocator(1, 8)
+        allocator.pending_lanes = 1
+        poor = allocator.allocate(10.0, 1.0, 0)
+        rich = allocator.allocate(5_000.0, 4.4, 0)
+        assert rich[1] >= poor[1]
+
+    def test_current_lane_dynamic_range(self):
+        """Figure 9's (a1,b): the current lane itself is dynamic."""
+        allocator = IncidentalAllocator(2, 8, current_minbits=2, current_maxbits=8)
+        poor = allocator.allocate(5.0, 1.0, 0)
+        rich = allocator.allocate(5_000.0, 4.4, 0)
+        assert poor[0] < rich[0]
+
+    def test_narrowing_opt_in(self):
+        from repro.system.simulator import FixedBitAllocator
+
+        assert IncidentalAllocator(2, 8).allow_lane_narrowing
+        assert not FixedBitAllocator(8).allow_lane_narrowing
+
+    def test_fair_share_lowers_bits_with_more_lanes(self):
+        """'Divide power and resources': more lanes -> fewer bits each."""
+        model = EnergyModel()
+        one = IncidentalAllocator(1, 8)
+        one.pending_lanes = 1
+        three = IncidentalAllocator(1, 8)
+        three.pending_lanes = 3
+        income = model.uniform_run_power_uw(8) + 100.0
+        lanes_one = one.allocate(income, 1.0, 0)
+        lanes_three = three.allocate(income, 1.0, 0)
+        assert lanes_three[1] <= lanes_one[1]

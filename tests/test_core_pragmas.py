@@ -1,0 +1,113 @@
+"""Tests for the four ``#pragma ac`` annotations and their parser."""
+
+import pytest
+
+from repro.core.pragmas import (
+    AssemblePragma,
+    IncidentalPragma,
+    RecomputePragma,
+    RecoverFromPragma,
+    parse_pragma,
+)
+from repro.errors import PragmaError
+
+
+class TestIncidentalPragma:
+    def test_valid(self):
+        pragma = IncidentalPragma("src", 2, 8, "linear")
+        assert pragma.minbits == 2
+        assert pragma.policy == "linear"
+
+    def test_minbits_cannot_exceed_maxbits(self):
+        with pytest.raises(PragmaError):
+            IncidentalPragma("src", 6, 4, "linear")
+
+    def test_bits_bounds(self):
+        with pytest.raises(PragmaError):
+            IncidentalPragma("src", 0, 8, "linear")
+        with pytest.raises(PragmaError):
+            IncidentalPragma("src", 1, 9, "linear")
+
+    def test_unknown_policy(self):
+        with pytest.raises(PragmaError):
+            IncidentalPragma("src", 2, 8, "cubic")
+
+    def test_bad_identifier(self):
+        with pytest.raises(PragmaError):
+            IncidentalPragma("2src", 2, 8, "linear")
+
+    def test_source_form_figure8(self):
+        """Figure 8's (a1) line reproduces exactly."""
+        pragma = IncidentalPragma("src", 2, 8, "linear")
+        assert pragma.source_form() == "#pragma ac incidental (src,2,8,linear);"
+
+
+class TestOtherPragmas:
+    def test_recover_from(self):
+        pragma = RecoverFromPragma("frame")
+        assert "incidental_recover_from(frame)" in pragma.source_form()
+
+    def test_recover_from_bad_identifier(self):
+        with pytest.raises(PragmaError):
+            RecoverFromPragma("")
+
+    def test_recompute(self):
+        pragma = RecomputePragma("buf", 4)
+        assert pragma.source_form() == "#pragma ac recompute(buf,4);"
+        with pytest.raises(PragmaError):
+            RecomputePragma("buf", 0)
+
+    def test_assemble_modes(self):
+        for mode in ("sum", "max", "min", "higherbits"):
+            assert AssemblePragma("buf", mode).mode == mode
+        with pytest.raises(PragmaError):
+            AssemblePragma("buf", "xor")
+
+
+class TestParser:
+    def test_parse_incidental(self):
+        pragma = parse_pragma("#pragma ac incidental (src,2,8,linear);")
+        assert pragma == IncidentalPragma("src", 2, 8, "linear")
+
+    def test_parse_recover_from(self):
+        pragma = parse_pragma("#pragma ac incidental_recover_from(frame);")
+        assert pragma == RecoverFromPragma("frame")
+
+    def test_parse_recompute(self):
+        pragma = parse_pragma("#pragma ac recompute(buf, 3)")
+        assert pragma == RecomputePragma("buf", 3)
+
+    def test_parse_assemble(self):
+        pragma = parse_pragma("#pragma ac assemble(buf, higherbits);")
+        assert pragma == AssemblePragma("buf", "higherbits")
+
+    def test_whitespace_tolerant(self):
+        pragma = parse_pragma("  #pragma ac incidental ( src , 6 , 8 , parabola ) ; ")
+        assert pragma == IncidentalPragma("src", 6, 8, "parabola")
+
+    def test_round_trip(self):
+        for original in (
+            IncidentalPragma("src", 2, 8, "log"),
+            RecoverFromPragma("frame"),
+            RecomputePragma("buf", 4),
+            AssemblePragma("buf", "max"),
+        ):
+            assert parse_pragma(original.source_form()) == original
+
+    def test_rejects_non_pragma(self):
+        with pytest.raises(PragmaError):
+            parse_pragma("int x = 0;")
+
+    def test_rejects_wrong_arity(self):
+        with pytest.raises(PragmaError):
+            parse_pragma("#pragma ac incidental (src,2,8);")
+        with pytest.raises(PragmaError):
+            parse_pragma("#pragma ac recompute(buf);")
+
+    def test_rejects_non_integer_bits(self):
+        with pytest.raises(PragmaError):
+            parse_pragma("#pragma ac incidental (src,two,8,linear);")
+
+    def test_rejects_unknown_pragma(self):
+        with pytest.raises(PragmaError):
+            parse_pragma("#pragma ac speculate(src);")

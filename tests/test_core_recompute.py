@@ -1,0 +1,87 @@
+"""Tests for recompute-and-combine (Figures 26-27)."""
+
+import numpy as np
+import pytest
+
+from repro.core.recompute import RecomputeAndCombine, schedule_from_trace
+from repro.errors import ConfigurationError
+from repro.kernels import MedianKernel, SobelKernel
+
+
+class TestScheduleFromTrace:
+    def test_bounds_respected(self, trace1):
+        schedule = schedule_from_trace(trace1, 3, 7)
+        assert schedule.min() >= 3
+        assert schedule.max() <= 7
+
+    def test_nonempty_on_live_trace(self, trace1):
+        assert schedule_from_trace(trace1, 1, 8).size > 0
+
+    def test_dead_trace_rejected(self, dead_trace):
+        with pytest.raises(ConfigurationError):
+            schedule_from_trace(dead_trace, 1, 8)
+
+    def test_contains_both_extremes(self, trace1):
+        """Dynamic budgets actually vary across the profile."""
+        schedule = schedule_from_trace(trace1, 1, 8)
+        assert schedule.min() < schedule.max()
+
+
+class TestRecomputeAndCombine:
+    def test_quality_monotone_nondecreasing(self, image32, trace1):
+        """Figure 27: each merge can only improve the output."""
+        schedule = schedule_from_trace(trace1, 2, 8)
+        rac = RecomputeAndCombine(MedianKernel(), 2, 8, seed=4)
+        outcome = rac.run(image32, passes=5, schedule=schedule)
+        mses = outcome.mse_per_pass
+        assert all(mses[i + 1] <= mses[i] + 1e-9 for i in range(len(mses) - 1))
+
+    def test_improvement_positive(self, image32, trace1):
+        schedule = schedule_from_trace(trace1, 2, 8)
+        rac = RecomputeAndCombine(MedianKernel(), 2, 8, seed=4)
+        outcome = rac.run(image32, passes=5, schedule=schedule)
+        assert outcome.improvement_db() > 0.0
+
+    def test_higher_minbits_better_first_pass(self, image32, trace1):
+        """Figure 26: minbits sets the first pass's quality floor."""
+        low_sched = schedule_from_trace(trace1, 1, 8)
+        high_sched = schedule_from_trace(trace1, 6, 8)
+        low = RecomputeAndCombine(MedianKernel(), 1, 8, seed=4).run(
+            image32, 1, low_sched
+        )
+        high = RecomputeAndCombine(MedianKernel(), 6, 8, seed=4).run(
+            image32, 1, high_sched
+        )
+        assert high.psnr_per_pass[0] > low.psnr_per_pass[0]
+
+    def test_precision_map_grows(self, image32, trace1):
+        schedule = schedule_from_trace(trace1, 2, 8)
+        rac = RecomputeAndCombine(MedianKernel(), 2, 8, seed=4)
+        one = rac.run(image32, 1, schedule)
+        many = rac.run(image32, 4, schedule)
+        assert many.final_precision.mean_bits() >= one.final_precision.mean_bits()
+
+    def test_passes_counted(self, image32, trace1):
+        schedule = schedule_from_trace(trace1, 2, 8)
+        outcome = RecomputeAndCombine(MedianKernel(), 2, 8).run(image32, 3, schedule)
+        assert outcome.passes == 3
+
+    def test_works_for_fragile_kernels_too(self, image32, trace1):
+        schedule = schedule_from_trace(trace1, 4, 8)
+        rac = RecomputeAndCombine(SobelKernel(), 4, 8, seed=4)
+        outcome = rac.run(image32, 4, schedule)
+        assert outcome.psnr_per_pass[-1] >= outcome.psnr_per_pass[0]
+
+    def test_schedule_validation(self, image32):
+        rac = RecomputeAndCombine(MedianKernel(), 2, 8)
+        with pytest.raises(ConfigurationError):
+            rac.run(image32, 2, np.array([], dtype=int))
+        with pytest.raises(ConfigurationError):
+            rac.run(image32, 2, np.ones((2, 2), dtype=int))
+
+    def test_schedule_clipped_to_pragma_range(self, image32):
+        rac = RecomputeAndCombine(MedianKernel(), 4, 6, seed=4)
+        outcome = rac.run(image32, 1, np.array([1, 8, 2, 8]))
+        # Clipping to [4, 6] means the merged precision never reads 8.
+        assert outcome.final_precision.bits.max() <= 6
+        assert outcome.final_precision.bits.min() >= 4

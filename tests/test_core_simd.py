@@ -1,0 +1,125 @@
+"""Tests for the SIMD matching handshake (Section 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.resume_buffer import ResumePoint, ResumePointBuffer
+from repro.core.simd import SimdMatcher
+from repro.errors import ReproError
+from repro.nvp.registers import MultiVersionRegisterFile
+
+
+@pytest.fixture()
+def setup():
+    buffer = ResumePointBuffer()
+    registers = MultiVersionRegisterFile(n_regs=8)
+    mask = np.zeros(8, dtype=bool)
+    mask[0] = mask[1] = True
+    matcher = SimdMatcher(buffer, registers, mask)
+    return buffer, registers, matcher
+
+
+def _suspend(buffer, registers, frame_id, pc=0x100, regs=None):
+    """Park a computation: bank its registers, record its resume point."""
+    version = 1 + frame_id % 3
+    registers.power_on_version(version)
+    registers.write_bank(version, np.asarray(regs if regs is not None else np.zeros(8)))
+    registers.power_off_version(version)
+    point = ResumePoint(
+        pc=pc, frame_id=frame_id, elements_done=0, register_version=version
+    )
+    buffer.push(point)
+    return point
+
+
+class TestWidening:
+    def test_pc_and_registers_match_adopts(self, setup):
+        buffer, registers, matcher = setup
+        registers.write_bank(0, np.arange(8))
+        _suspend(buffer, registers, 0, pc=0x100, regs=np.arange(8))
+        adopted = matcher.try_widen(0x100)
+        assert adopted is not None
+        assert matcher.simd_width == 2
+        assert len(buffer) == 0  # entry cleared on adoption
+
+    def test_pc_mismatch_blocks(self, setup):
+        buffer, registers, matcher = setup
+        _suspend(buffer, registers, 0, pc=0x100)
+        assert matcher.try_widen(0x200) is None
+        assert matcher.simd_width == 1
+
+    def test_key_variable_mismatch_blocks(self, setup):
+        buffer, registers, matcher = setup
+        registers.write_bank(0, np.arange(8))
+        different = np.arange(8).copy()
+        different[0] = 99  # key loop variable differs
+        _suspend(buffer, registers, 0, pc=0x100, regs=different)
+        assert matcher.try_widen(0x100) is None
+        assert len(buffer) == 1  # stays buffered
+
+    def test_non_key_mismatch_is_ignored(self, setup):
+        buffer, registers, matcher = setup
+        registers.write_bank(0, np.arange(8))
+        different = np.arange(8).copy()
+        different[5] = 99  # masked-out register
+        _suspend(buffer, registers, 0, pc=0x100, regs=different)
+        assert matcher.try_widen(0x100) is not None
+
+    def test_width_capped_at_four(self, setup):
+        buffer, registers, matcher = setup
+        registers.write_bank(0, np.zeros(8))
+        for fid in range(4):
+            _suspend(buffer, registers, fid, pc=0x100)
+        adopted = [matcher.try_widen(0x100) for _ in range(5)]
+        assert matcher.simd_width == 4
+        assert adopted[3] is None  # fourth widening attempt refused
+
+    def test_adoption_ungates_register_version(self, setup):
+        buffer, registers, matcher = setup
+        registers.write_bank(0, np.zeros(8))
+        point = _suspend(buffer, registers, 0, pc=0x100)
+        matcher.try_widen(0x100)
+        assert not registers.is_gated(point.register_version)
+
+
+class TestRelease:
+    def test_release_returns_to_buffer_with_progress(self, setup):
+        buffer, registers, matcher = setup
+        registers.write_bank(0, np.zeros(8))
+        _suspend(buffer, registers, 0, pc=0x100)
+        entry = matcher.try_widen(0x100)
+        matcher.release(entry, elements_done=42)
+        assert matcher.simd_width == 1
+        assert buffer.match_pc(0x100).elements_done == 42
+        assert registers.is_gated(entry.register_version)
+
+    def test_release_all(self, setup):
+        buffer, registers, matcher = setup
+        registers.write_bank(0, np.zeros(8))
+        for fid in range(2):
+            _suspend(buffer, registers, fid, pc=0x100)
+        matcher.try_widen(0x100)
+        matcher.try_widen(0x100)
+        matcher.release_all(progress={0: 10, 1: 20})
+        assert matcher.simd_width == 1
+        assert len(buffer) == 2
+
+    def test_release_unknown_entry_rejected(self, setup):
+        buffer, registers, matcher = setup
+        point = ResumePoint(pc=0x100, frame_id=0, elements_done=0, register_version=1)
+        with pytest.raises(ReproError):
+            matcher.release(point, 0)
+
+
+class TestValidation:
+    def test_mask_shape_checked(self):
+        buffer = ResumePointBuffer()
+        registers = MultiVersionRegisterFile(n_regs=8)
+        with pytest.raises(ReproError):
+            SimdMatcher(buffer, registers, np.zeros(4, dtype=bool))
+
+    def test_width_bounds(self):
+        buffer = ResumePointBuffer()
+        registers = MultiVersionRegisterFile(n_regs=8)
+        with pytest.raises(ReproError):
+            SimdMatcher(buffer, registers, np.zeros(8, dtype=bool), max_width=5)

@@ -1,0 +1,120 @@
+"""Edge-case coverage across modules: odd shapes, degenerate configs,
+and schedule plumbing that the mainline tests do not reach."""
+
+import numpy as np
+import pytest
+
+from repro.core.executive import IncidentalExecutive
+from repro.energy.traces import PowerTrace
+from repro.errors import ConfigurationError
+from repro.kernels import (
+    ApproxContext,
+    FFTKernel,
+    IntegralKernel,
+    JPEGEncodeKernel,
+    MedianKernel,
+    SobelKernel,
+    frame_sequence,
+)
+from repro.quality import psnr
+
+
+class TestExecutiveEdges:
+    def test_mismatched_frame_shapes_rejected(self, median_program, short_trace):
+        frames = [np.zeros((8, 8), dtype=np.int64), np.zeros((12, 12), dtype=np.int64)]
+        with pytest.raises(ConfigurationError, match="share one shape"):
+            IncidentalExecutive(median_program, short_trace, frames)
+
+    def test_trace_shorter_than_frame_period(self, median_program, frames16):
+        trace = PowerTrace(np.full(500, 400.0))
+        executive = IncidentalExecutive(
+            median_program, trace, frames16, frame_period_ticks=100_000
+        )
+        result = executive.run()
+        assert len(result.frames) == 1  # only frame 0 ever arrives
+
+    def test_single_frame_stream(self, median_program, short_trace):
+        executive = IncidentalExecutive(
+            median_program,
+            short_trace,
+            frame_sequence(1, 12),
+            frame_period_ticks=50_000,
+        )
+        result = executive.run()
+        assert len(result.frames) >= 1
+
+    def test_zero_power_yields_empty_run(self, median_program, dead_trace, frames16):
+        executive = IncidentalExecutive(median_program, dead_trace, frames16)
+        result = executive.run()
+        assert result.sim.total_progress == 0
+        assert result.frames_completed == 0
+        assert executive.frame_quality(result) == []
+
+
+class TestKernelEdges:
+    def test_minimum_image_size(self):
+        image = np.full((4, 4), 100, dtype=np.int64)
+        for kernel in (SobelKernel(), MedianKernel(), IntegralKernel()):
+            out = kernel.run_exact(image)
+            assert out.shape == (4, 4)
+
+    def test_non_square_images(self):
+        rng = np.random.default_rng(0)
+        image = rng.integers(0, 256, (8, 24))
+        for kernel in (SobelKernel(), MedianKernel(), IntegralKernel()):
+            assert kernel.run_exact(image).shape == (8, 24)
+
+    def test_fft_non_square_power_of_two(self):
+        rng = np.random.default_rng(0)
+        image = rng.integers(0, 256, (5, 16))
+        assert FFTKernel().run_exact(image).shape == (5, 16)
+
+    def test_jpeg_zero_search_range(self):
+        kernel = JPEGEncodeKernel(search_range=0)
+        frames = frame_sequence(2, 16, seed=3)
+        result = kernel.encode(frames[1], frames[0])
+        # No search: every motion vector is (0, 0).
+        assert np.abs(result.motion_vectors).max() == 0
+
+    def test_extreme_pixel_values(self):
+        for value in (0, 255):
+            image = np.full((8, 8), value, dtype=np.int64)
+            for kernel in (SobelKernel(), MedianKernel(), IntegralKernel()):
+                out = kernel.run_exact(image)
+                assert out.min() >= 0 and out.max() <= 255
+
+    def test_mem_bits_schedule_plumbs_through(self, image32):
+        """Dynamic schedules work on the memory budget too."""
+        schedule = np.tile(np.array([2, 8]), 600)
+        ctx = ApproxContext(mem_bits=schedule, seed=1)
+        out = MedianKernel().run(image32, ctx)
+        ref = MedianKernel().run_exact(image32)
+        full = MedianKernel().run(image32, ApproxContext(mem_bits=8))
+        assert psnr(ref, out) < psnr(ref, full)
+
+    def test_both_budgets_reduced_compound(self, image32):
+        kernel = IntegralKernel()
+        ref = kernel.run_exact(image32)
+        alu_only = psnr(ref, kernel.run(image32, ApproxContext(alu_bits=3, seed=1)))
+        both = psnr(
+            ref, kernel.run(image32, ApproxContext(alu_bits=3, mem_bits=3, seed=1))
+        )
+        assert both <= alu_only + 1.0
+
+
+class TestTraceEdges:
+    def test_single_sample_trace(self):
+        trace = PowerTrace([100.0])
+        assert trace.emergency_count() == 0
+        assert trace.duration_s == pytest.approx(1e-4)
+
+    def test_segment_whole_trace(self):
+        trace = PowerTrace([1.0, 2.0, 3.0])
+        sub = trace.segment(0, 3)
+        assert list(sub) == [1.0, 2.0, 3.0]
+
+    def test_scaled_preserves_shape_statistics(self):
+        trace = PowerTrace([10.0, 0.0, 200.0, 5.0])
+        doubled = trace.scaled(2.0)
+        assert doubled.total_energy_uj == pytest.approx(2 * trace.total_energy_uj)
+        assert doubled.peak_power_uw == pytest.approx(2 * trace.peak_power_uw)

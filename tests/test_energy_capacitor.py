@@ -1,0 +1,142 @@
+"""Tests for the capacitor / ESD models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.energy.capacitor import Capacitor, StorageCapacitor
+from repro.errors import EnergyError
+
+
+class TestCapacitorBasics:
+    def test_starts_at_initial(self):
+        cap = Capacitor(10.0, initial_energy_uj=4.0)
+        assert cap.energy_uj == pytest.approx(4.0)
+        assert cap.fill_fraction == pytest.approx(0.4)
+
+    def test_rejects_initial_above_capacity(self):
+        with pytest.raises(EnergyError):
+            Capacitor(1.0, initial_energy_uj=2.0)
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(EnergyError):
+            Capacitor(0.0)
+
+    def test_charge_accumulates(self):
+        cap = Capacitor(10.0)
+        accepted = cap.charge(1000.0, dt_s=1e-3)  # 1 uJ
+        assert accepted == pytest.approx(1.0)
+        assert cap.energy_uj == pytest.approx(1.0)
+
+    def test_charge_clamps_at_capacity(self):
+        cap = Capacitor(1.0, initial_energy_uj=0.9)
+        accepted = cap.charge(10_000.0, dt_s=1e-3)  # 10 uJ offered
+        assert accepted == pytest.approx(0.1)
+        assert cap.energy_uj == pytest.approx(1.0)
+
+    def test_draw_all_or_nothing(self):
+        cap = Capacitor(10.0, initial_energy_uj=0.5)
+        assert not cap.draw(0.6)
+        assert cap.energy_uj == pytest.approx(0.5)
+        assert cap.draw(0.5)
+        assert cap.energy_uj == pytest.approx(0.0)
+
+    def test_drain_power_reports_shortfall(self):
+        cap = Capacitor(10.0, initial_energy_uj=0.01)
+        shortfall = cap.drain_power(1000.0, dt_s=1e-3)  # wants 1 uJ
+        assert shortfall == pytest.approx(0.99)
+        assert cap.energy_uj == pytest.approx(0.0)
+
+    def test_leak_proportional(self):
+        cap = Capacitor(10.0, leakage_fraction_per_s=0.5, initial_energy_uj=10.0)
+        lost = cap.leak(dt_s=0.1)
+        assert lost == pytest.approx(0.5)
+        assert cap.energy_uj == pytest.approx(9.5)
+
+    def test_leak_floor_only_when_charged(self):
+        empty = Capacitor(10.0, leakage_floor_uw=5.0)
+        assert empty.leak(dt_s=1.0) == pytest.approx(0.0)
+        charged = Capacitor(10.0, leakage_floor_uw=5.0, initial_energy_uj=1.0)
+        assert charged.leak(dt_s=0.1) > 0.0
+
+    def test_reset(self):
+        cap = Capacitor(10.0, initial_energy_uj=3.0)
+        cap.reset(1.0)
+        assert cap.energy_uj == pytest.approx(1.0)
+        with pytest.raises(EnergyError):
+            cap.reset(11.0)
+
+
+class TestCapacitorProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=2000.0),
+                st.floats(min_value=0.0, max_value=500.0),
+            ),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_energy_stays_in_bounds(self, steps):
+        cap = Capacitor(5.0, leakage_fraction_per_s=0.01)
+        for income, load in steps:
+            cap.charge(income)
+            cap.drain_power(load)
+            cap.leak()
+            assert 0.0 <= cap.energy_uj <= 5.0 + 1e-9
+
+    @given(st.floats(min_value=0.0, max_value=10.0))
+    @settings(max_examples=50, deadline=None)
+    def test_draw_never_goes_negative(self, amount):
+        cap = Capacitor(10.0, initial_energy_uj=5.0)
+        cap.draw(amount)
+        assert cap.energy_uj >= 0.0
+
+
+class TestStorageCapacitor:
+    def test_min_charging_power(self):
+        esd = StorageCapacitor(100.0, min_charging_power_uw=25.0)
+        assert esd.charge(20.0) == pytest.approx(0.0)
+        assert esd.charge(30.0) > 0.0
+
+    def test_charging_efficiency_below_one(self):
+        esd = StorageCapacitor(100.0, charging_efficiency=0.6, min_charging_power_uw=0.0)
+        accepted = esd.charge(1000.0, dt_s=1e-3)
+        assert accepted == pytest.approx(0.6, rel=0.01)
+
+    def test_topoff_efficiency_degrades_near_full(self):
+        esd = StorageCapacitor(
+            10.0,
+            charging_efficiency=0.6,
+            topoff_efficiency=0.2,
+            min_charging_power_uw=0.0,
+            initial_energy_uj=9.0,
+        )
+        nearly_full = esd.charge(1000.0, dt_s=1e-4)
+        esd2 = StorageCapacitor(
+            10.0,
+            charging_efficiency=0.6,
+            topoff_efficiency=0.2,
+            min_charging_power_uw=0.0,
+        )
+        empty = esd2.charge(1000.0, dt_s=1e-4)
+        assert nearly_full < empty
+
+    def test_topoff_cannot_exceed_charging_efficiency(self):
+        with pytest.raises(EnergyError):
+            StorageCapacitor(10.0, charging_efficiency=0.5, topoff_efficiency=0.6)
+
+    def test_ticks_to_charge_reachable(self):
+        esd = StorageCapacitor(10.0, min_charging_power_uw=0.0, leakage_floor_uw=0.0)
+        ticks = esd.ticks_to_charge(1.0, income_uw=1000.0)
+        assert 0 < ticks < 1_000
+
+    def test_ticks_to_charge_unreachable_below_min_current(self):
+        esd = StorageCapacitor(10.0, min_charging_power_uw=25.0)
+        assert esd.ticks_to_charge(1.0, income_uw=10.0) == -1
+
+    def test_ticks_to_charge_already_there(self):
+        esd = StorageCapacitor(10.0, initial_energy_uj=5.0)
+        assert esd.ticks_to_charge(1.0, income_uw=0.0) == 0

@@ -1,0 +1,78 @@
+"""Tests for the AC-DC rectifier front-end models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.energy.frontend import DualChannelFrontend, RectifierFrontend
+from repro.errors import EnergyError
+
+
+class TestEfficiencyCurve:
+    def test_zero_below_min_input(self):
+        fe = RectifierFrontend(min_input_uw=2.0)
+        assert fe.efficiency(1.9) == 0.0
+        assert fe.convert(1.9) == 0.0
+
+    def test_saturates_toward_eta_max(self):
+        fe = RectifierFrontend(eta_max=0.82, half_power_uw=12.0)
+        assert fe.efficiency(10_000.0) == pytest.approx(0.82, rel=0.01)
+
+    def test_half_power_point(self):
+        fe = RectifierFrontend(eta_max=0.8, half_power_uw=10.0, min_input_uw=0.0)
+        assert fe.efficiency(10.0) == pytest.approx(0.4)
+
+    def test_monotone_in_input(self):
+        fe = RectifierFrontend()
+        effs = [fe.efficiency(p) for p in (5.0, 20.0, 100.0, 1000.0)]
+        assert effs == sorted(effs)
+
+    def test_convert_is_power_times_efficiency(self):
+        fe = RectifierFrontend()
+        p = 123.0
+        assert fe.convert(p) == pytest.approx(p * fe.efficiency(p))
+
+    def test_rejects_bad_eta(self):
+        with pytest.raises(EnergyError):
+            RectifierFrontend(eta_max=1.2)
+
+    def test_rejects_negative_input(self):
+        with pytest.raises(EnergyError):
+            RectifierFrontend().convert(-1.0)
+
+
+class TestConvertTrace:
+    def test_matches_scalar_convert(self):
+        fe = RectifierFrontend()
+        samples = np.array([0.0, 1.0, 5.0, 50.0, 500.0, 2000.0])
+        vectorised = fe.convert_trace(samples)
+        scalar = np.array([fe.convert(p) for p in samples])
+        np.testing.assert_allclose(vectorised, scalar, rtol=1e-12)
+
+    def test_output_never_exceeds_input(self):
+        fe = RectifierFrontend()
+        samples = np.linspace(0, 2000, 100)
+        out = fe.convert_trace(samples)
+        assert np.all(out <= samples + 1e-12)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=2000.0), min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_vectorised_non_negative(self, samples):
+        out = RectifierFrontend().convert_trace(np.array(samples))
+        assert np.all(out >= 0.0)
+
+
+class TestDualChannel:
+    def test_bypass_beats_storage_path(self):
+        fe = DualChannelFrontend()
+        p = 100.0
+        assert fe.convert_direct(p) > fe.convert(p)
+
+    def test_bypass_respects_min_input(self):
+        fe = DualChannelFrontend(min_input_uw=2.0)
+        assert fe.convert_direct(1.0) == 0.0
+
+    def test_bypass_efficiency_bounds(self):
+        with pytest.raises(EnergyError):
+            DualChannelFrontend(bypass_efficiency=1.1)

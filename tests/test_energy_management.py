@@ -1,0 +1,68 @@
+"""Tests for threshold derivation (start / backup / restore)."""
+
+import pytest
+
+from repro.energy.management import ThresholdSet, derive_thresholds
+from repro.energy.traces import TICK_S
+from repro.errors import ConfigurationError
+
+
+class TestThresholdSetInvariants:
+    def test_valid_set(self):
+        ts = ThresholdSet(
+            start_energy_uj=1.0,
+            backup_threshold_uj=0.5,
+            backup_energy_uj=0.4,
+            restore_energy_uj=0.1,
+        )
+        assert ts.run_headroom_uj == pytest.approx(0.4)
+
+    def test_backup_threshold_must_cover_backup(self):
+        with pytest.raises(ConfigurationError):
+            ThresholdSet(
+                start_energy_uj=1.0,
+                backup_threshold_uj=0.3,
+                backup_energy_uj=0.4,
+                restore_energy_uj=0.1,
+            )
+
+    def test_start_must_cover_restore_plus_reserve(self):
+        with pytest.raises(ConfigurationError):
+            ThresholdSet(
+                start_energy_uj=0.5,
+                backup_threshold_uj=0.5,
+                backup_energy_uj=0.4,
+                restore_energy_uj=0.1,
+            )
+
+
+class TestDeriveThresholds:
+    def test_margin_applied(self):
+        ts = derive_thresholds(0.4, 0.1, 200.0, min_run_ticks=10, backup_margin=0.25)
+        assert ts.backup_threshold_uj == pytest.approx(0.5)
+
+    def test_run_budget_included(self):
+        ts = derive_thresholds(0.4, 0.1, 200.0, min_run_ticks=10, backup_margin=0.0)
+        expected_budget = 200.0 * TICK_S * 10
+        assert ts.start_energy_uj == pytest.approx(0.1 + 0.4 + expected_budget)
+
+    def test_cheaper_backup_lowers_both_thresholds(self):
+        """Section 3.2: reduced backup reserves mean fewer emergencies."""
+        precise = derive_thresholds(0.7, 0.1, 245.0)
+        shaped = derive_thresholds(0.25, 0.1, 245.0)
+        assert shaped.backup_threshold_uj < precise.backup_threshold_uj
+        assert shaped.start_energy_uj < precise.start_energy_uj
+
+    def test_higher_power_raises_start(self):
+        """Figure 9: wider/more-precise configs need higher thresholds."""
+        low = derive_thresholds(0.4, 0.1, 130.0)
+        high = derive_thresholds(0.4, 0.1, 980.0)
+        assert high.start_energy_uj > low.start_energy_uj
+
+    def test_rejects_nonpositive_power(self):
+        with pytest.raises(ConfigurationError):
+            derive_thresholds(0.4, 0.1, 0.0)
+
+    def test_rejects_zero_run_ticks(self):
+        with pytest.raises(ConfigurationError):
+            derive_thresholds(0.4, 0.1, 200.0, min_run_ticks=0)

@@ -1,0 +1,179 @@
+"""Tests for power traces and the five standard profiles (Figure 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.energy.traces import (
+    OPERATING_THRESHOLD_UW,
+    STANDARD_PROFILE_IDS,
+    TICK_S,
+    PowerTrace,
+    standard_profile,
+    standard_profiles,
+)
+from repro.errors import TraceError
+
+
+class TestPowerTraceBasics:
+    def test_length_and_duration(self):
+        trace = PowerTrace([1.0, 2.0, 3.0])
+        assert len(trace) == 3
+        assert trace.duration_s == pytest.approx(3 * TICK_S)
+
+    def test_mean_and_peak(self):
+        trace = PowerTrace([0.0, 10.0, 20.0])
+        assert trace.mean_power_uw == pytest.approx(10.0)
+        assert trace.peak_power_uw == pytest.approx(20.0)
+
+    def test_total_energy(self):
+        trace = PowerTrace([100.0] * 10)
+        assert trace.total_energy_uj == pytest.approx(100.0 * 10 * TICK_S)
+
+    def test_samples_are_read_only(self):
+        trace = PowerTrace([1.0, 2.0])
+        with pytest.raises(ValueError):
+            trace.samples_uw[0] = 5.0
+
+    def test_iteration_and_indexing(self):
+        trace = PowerTrace([1.0, 2.0, 3.0])
+        assert list(trace) == [1.0, 2.0, 3.0]
+        assert trace[1] == 2.0
+
+    def test_repr_mentions_name(self):
+        assert "mytrace" in repr(PowerTrace([1.0], name="mytrace"))
+
+    def test_rejects_empty(self):
+        with pytest.raises(TraceError):
+            PowerTrace([])
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(TraceError):
+            PowerTrace([1.0, -0.5])
+
+    def test_rejects_nan(self):
+        with pytest.raises(TraceError):
+            PowerTrace([1.0, float("nan")])
+
+    def test_rejects_2d(self):
+        with pytest.raises(TraceError):
+            PowerTrace(np.ones((2, 2)))
+
+
+class TestTraceQueries:
+    def test_fraction_above(self):
+        trace = PowerTrace([0.0, 50.0, 100.0, 10.0])
+        assert trace.fraction_above(50.0) == pytest.approx(0.5)
+
+    def test_emergency_count_counts_falling_edges(self):
+        # above, below, above, below -> two falling edges
+        trace = PowerTrace([100.0, 1.0, 100.0, 1.0])
+        assert trace.emergency_count(OPERATING_THRESHOLD_UW) == 2
+
+    def test_emergency_count_constant_trace(self):
+        assert PowerTrace([100.0] * 10).emergency_count() == 0
+
+    def test_segment(self):
+        trace = PowerTrace([1.0, 2.0, 3.0, 4.0])
+        sub = trace.segment(1, 3)
+        assert list(sub) == [2.0, 3.0]
+
+    def test_segment_bounds_checked(self):
+        trace = PowerTrace([1.0, 2.0])
+        with pytest.raises(TraceError):
+            trace.segment(0, 5)
+
+    def test_scaled(self):
+        trace = PowerTrace([1.0, 2.0]).scaled(2.0)
+        assert list(trace) == [2.0, 4.0]
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(TraceError):
+            PowerTrace([1.0]).scaled(0.0)
+
+    def test_repeated(self):
+        trace = PowerTrace([1.0, 2.0]).repeated(3)
+        assert len(trace) == 6
+        assert list(trace)[2:4] == [1.0, 2.0]
+
+    def test_high_activity_window_finds_burst(self):
+        samples = np.zeros(100)
+        samples[40:50] = 1000.0
+        start, window = PowerTrace(samples).high_activity_window(10)
+        assert start == 40
+        assert window.mean_power_uw == pytest.approx(1000.0)
+
+
+class TestStandardProfiles:
+    def test_five_profiles(self):
+        assert STANDARD_PROFILE_IDS == (1, 2, 3, 4, 5)
+        assert len(standard_profiles(duration_s=0.5)) == 5
+
+    def test_deterministic(self):
+        a = standard_profile(1, duration_s=0.5)
+        b = standard_profile(1, duration_s=0.5)
+        np.testing.assert_array_equal(a.samples_uw, b.samples_uw)
+
+    def test_profiles_differ(self):
+        a = standard_profile(1, duration_s=0.5)
+        b = standard_profile(2, duration_s=0.5)
+        assert not np.array_equal(a.samples_uw, b.samples_uw)
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(TraceError):
+            standard_profile(7)
+
+    def test_sample_count(self):
+        trace = standard_profile(1, duration_s=1.0)
+        assert len(trace) == 10_000
+
+    @pytest.mark.parametrize("pid", STANDARD_PROFILE_IDS)
+    def test_mean_power_band(self, pid):
+        """Section 2.2: averages in the ~10-40 uW band."""
+        trace = standard_profile(pid, duration_s=10.0)
+        assert 8.0 <= trace.mean_power_uw <= 45.0
+
+    @pytest.mark.parametrize("pid", STANDARD_PROFILE_IDS)
+    def test_peak_power_clipped(self, pid):
+        """Figure 2: spikes saturate near 2000 uW."""
+        trace = standard_profile(pid, duration_s=10.0)
+        assert trace.peak_power_uw <= 2000.0
+        assert trace.peak_power_uw > 500.0
+
+    @pytest.mark.parametrize("pid", STANDARD_PROFILE_IDS)
+    def test_emergency_rate(self, pid):
+        """Section 2.2: hundreds to ~2000 emergencies per 10 s window."""
+        trace = standard_profile(pid, duration_s=10.0)
+        assert 300 <= trace.emergency_count() <= 2000
+
+
+class TestPropertyBased:
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=2000.0), min_size=1, max_size=200)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_energy_consistent_with_mean(self, samples):
+        trace = PowerTrace(samples)
+        expected = trace.mean_power_uw * trace.duration_s
+        assert trace.total_energy_uj == pytest.approx(expected, rel=1e-9, abs=1e-12)
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=2000.0), min_size=2, max_size=100),
+        st.floats(min_value=0.1, max_value=3000.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_fraction_above_monotone(self, samples, threshold):
+        trace = PowerTrace(samples)
+        assert trace.fraction_above(threshold) >= trace.fraction_above(threshold * 2)
+
+    @given(st.integers(min_value=1, max_value=5), st.integers(min_value=2, max_value=50))
+    @settings(max_examples=20, deadline=None)
+    def test_segments_tile_the_trace(self, pid_mod, split):
+        trace = standard_profile(1 + (pid_mod % 5), duration_s=0.1)
+        split = min(split, len(trace) - 1)
+        left = trace.segment(0, split)
+        right = trace.segment(split, len(trace))
+        assert len(left) + len(right) == len(trace)
+        total = left.total_energy_uj + right.total_energy_uj
+        assert total == pytest.approx(trace.total_energy_uj, rel=1e-9)

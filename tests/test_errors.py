@@ -1,0 +1,37 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in errors.__all__:
+            exc = getattr(errors, name)
+            assert issubclass(exc, errors.ReproError)
+
+    def test_value_error_compatibility(self):
+        # Configuration-style failures should be catchable as ValueError.
+        for exc in (
+            errors.ConfigurationError,
+            errors.TraceError,
+            errors.EnergyError,
+            errors.NVMError,
+            errors.ProcessorError,
+            errors.KernelError,
+            errors.PragmaError,
+            errors.MergeError,
+            errors.QualityError,
+        ):
+            assert issubclass(exc, ValueError)
+
+    def test_simulation_error_is_runtime_error(self):
+        assert issubclass(errors.SimulationError, RuntimeError)
+
+    def test_retention_policy_error_is_nvm_error(self):
+        assert issubclass(errors.RetentionPolicyError, errors.NVMError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.KernelError("bad kernel input")

@@ -1,0 +1,95 @@
+"""Tests for the extension features: dual-channel front end, trace
+persistence, executive-integrated RAC, and the JPEG frame-QoS metric."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import experiments as E
+from repro.core.executive import IncidentalExecutive
+from repro.energy.traces import PowerTrace, standard_profile
+from repro.errors import ConfigurationError, TraceError
+from repro.kernels import frame_sequence
+from repro.system.config import SystemConfig
+from repro.system.simulator import simulate_fixed_bits
+from repro.nvp.processor import NonvolatileProcessor
+from repro.system.simulator import FixedBitAllocator, NVPSystemSimulator
+
+
+class TestDualChannelFrontend:
+    def test_dual_channel_improves_progress(self, trace1):
+        """Sheng et al. [57]: bypassing the storage round-trip while
+        running delivers more usable energy."""
+        single = simulate_fixed_bits(trace1, 8)
+        proc = NonvolatileProcessor()
+        dual = NVPSystemSimulator(
+            trace1,
+            proc,
+            FixedBitAllocator(8),
+            config=SystemConfig(dual_channel=True),
+        ).run()
+        assert dual.forward_progress >= single.forward_progress
+
+    def test_config_builds_dual_frontend(self):
+        from repro.energy.frontend import DualChannelFrontend
+
+        fe = SystemConfig(dual_channel=True).build_frontend()
+        assert isinstance(fe, DualChannelFrontend)
+        fe = SystemConfig().build_frontend()
+        assert not isinstance(fe, DualChannelFrontend)
+
+    def test_efficiency_validated(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(dual_channel=True, dual_channel_efficiency=1.5)
+
+
+class TestTracePersistence:
+    def test_npz_round_trip(self, tmp_path, trace1):
+        path = tmp_path / "trace.npz"
+        trace1.save(path)
+        loaded = PowerTrace.load(path)
+        np.testing.assert_array_equal(loaded.samples_uw, trace1.samples_uw)
+        assert loaded.name == trace1.name
+
+    def test_csv_round_trip(self, tmp_path):
+        trace = PowerTrace([1.5, 2.25, 100.0], name="field-capture")
+        path = tmp_path / "trace.csv"
+        trace.to_csv(path)
+        loaded = PowerTrace.from_csv(path, name="field-capture")
+        np.testing.assert_allclose(loaded.samples_uw, trace.samples_uw, rtol=1e-5)
+
+    def test_load_rejects_foreign_npz(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, unrelated=np.arange(4))
+        with pytest.raises(TraceError):
+            PowerTrace.load(path)
+
+
+class TestExecutiveRefineFrame:
+    def test_refine_improves_quality(self, median_program):
+        trace = standard_profile(1, duration_s=4.0)
+        executive = IncidentalExecutive(
+            median_program,
+            trace,
+            frame_sequence(6, 12),
+            frame_period_ticks=8_000,
+        )
+        executive.run()
+        outcome = executive.refine_frame(0, passes=3, minbits=4)
+        assert outcome.passes == 3
+        assert outcome.psnr_per_pass[-1] >= outcome.psnr_per_pass[0]
+
+    def test_minbits_defaults_to_pragma(self, median_program):
+        trace = standard_profile(1, duration_s=4.0)
+        executive = IncidentalExecutive(
+            median_program, trace, frame_sequence(4, 12)
+        )
+        outcome = executive.refine_frame(1, passes=1)
+        assert outcome.final_precision.bits.min() >= median_program.minbits
+
+
+class TestJpegFrameQos:
+    def test_met_fraction_matches_paper_band(self):
+        """Table 2: 97% of JPEG frames met the size target."""
+        result = E.jpeg_frame_qos(profile_ids=(1,), n_frames=12, duration_s=4.0)
+        for fraction in result.data["fractions"].values():
+            assert fraction >= 0.9

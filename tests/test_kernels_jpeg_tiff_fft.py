@@ -1,0 +1,211 @@
+"""Tests for the JPEG, TIFF-conversion and FFT kernels."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.kernels import (
+    ApproxContext,
+    FFTKernel,
+    JPEGEncodeKernel,
+    Tiff2BWKernel,
+    Tiff2RGBAKernel,
+    frame_sequence,
+    rgb_scene,
+    test_scene as make_scene,
+)
+from repro.quality import psnr
+
+
+class TestJPEGIntra:
+    def test_round_trip_quality(self, image32):
+        kernel = JPEGEncodeKernel()
+        result = kernel.encode(image32, prev_frame=None)
+        assert result.size_bits > 0
+        assert psnr(image32, result.reconstructed) > 25.0
+
+    def test_flat_image_compresses_tiny(self):
+        kernel = JPEGEncodeKernel()
+        flat = np.full((32, 32), 128, dtype=np.int64)
+        textured = make_scene(32, "texture", seed=3)
+        assert kernel.encode(flat, None).size_bits < kernel.encode(textured, None).size_bits
+
+    def test_dimensions_must_be_block_multiples(self):
+        kernel = JPEGEncodeKernel()
+        with pytest.raises(KernelError):
+            kernel.encode(np.zeros((30, 32), dtype=np.int64), None)
+
+    def test_run_returns_reconstruction(self, image32):
+        kernel = JPEGEncodeKernel()
+        out = kernel.run(image32, ApproxContext())
+        assert out.shape == image32.shape
+
+
+class TestJPEGMotion:
+    def test_inter_coding_smaller_than_intra(self):
+        kernel = JPEGEncodeKernel()
+        frames = frame_sequence(2, 32, seed=3, step=2)
+        intra = kernel.encode(frames[1], None)
+        inter = kernel.encode(frames[1], frames[0])
+        assert inter.size_bits < intra.size_bits
+
+    def test_motion_vectors_track_object(self):
+        kernel = JPEGEncodeKernel()
+        frames = frame_sequence(2, 32, seed=3, step=2)
+        result = kernel.encode(frames[1], frames[0])
+        assert result.motion_vectors is not None
+        assert np.abs(result.motion_vectors).max() > 0
+
+    def test_shape_mismatch_rejected(self):
+        kernel = JPEGEncodeKernel()
+        with pytest.raises(KernelError):
+            kernel.encode(
+                np.zeros((32, 32), dtype=np.int64),
+                np.zeros((16, 16), dtype=np.int64),
+            )
+
+    def test_approximate_motion_grows_size_at_low_bits(self):
+        """Table 2: ME approximation affects only output size."""
+        kernel = JPEGEncodeKernel()
+        frames = frame_sequence(2, 32, seed=3, step=2)
+        base = kernel.encode(frames[1], frames[0])
+        rough = kernel.encode(frames[1], frames[0], ApproxContext(alu_bits=1, seed=2))
+        assert rough.size_bits >= base.size_bits
+
+    def test_minbits3_meets_size_target(self):
+        """Table 2: jpeg at minbits 3 stays within 150% size."""
+        kernel = JPEGEncodeKernel()
+        frames = frame_sequence(2, 32, seed=3, step=2)
+        base = kernel.encode(frames[1], frames[0])
+        approx = kernel.encode(frames[1], frames[0], ApproxContext(alu_bits=3, seed=2))
+        assert approx.size_ratio(base.size_bits) <= 1.5
+
+    def test_size_ratio_validation(self):
+        kernel = JPEGEncodeKernel()
+        frames = frame_sequence(2, 32, seed=3)
+        result = kernel.encode(frames[1], frames[0])
+        with pytest.raises(KernelError):
+            result.size_ratio(0)
+
+
+class TestTiff:
+    def test_tiff2bw_luminance_weights(self):
+        kernel = Tiff2BWKernel()
+        red = np.zeros((8, 8, 3), dtype=np.int64)
+        red[..., 0] = 255
+        green = np.zeros((8, 8, 3), dtype=np.int64)
+        green[..., 1] = 255
+        assert kernel.run_exact(green).mean() > kernel.run_exact(red).mean()
+
+    def test_tiff2bw_white_maps_near_white(self):
+        kernel = Tiff2BWKernel()
+        white = np.full((8, 8, 3), 255, dtype=np.int64)
+        assert kernel.run_exact(white).min() >= 250
+
+    def test_tiff2bw_rejects_gray_input(self):
+        with pytest.raises(KernelError):
+            Tiff2BWKernel().run_exact(np.zeros((8, 8), dtype=np.int64))
+
+    def test_tiff2bw_output_elements(self):
+        image = rgb_scene(16)
+        assert Tiff2BWKernel().output_elements(image) == 256
+
+    def test_tiff2rgba_shape_and_alpha(self, image32):
+        out = Tiff2RGBAKernel().run_exact(image32)
+        assert out.shape == (32, 32, 4)
+        assert np.all(out[..., 3] == 255)
+
+    def test_tiff2rgba_channel_ordering(self, image32):
+        """Channel gains order R >= G >= B."""
+        out = Tiff2RGBAKernel().run_exact(image32)
+        assert out[..., 0].sum() >= out[..., 1].sum() >= out[..., 2].sum()
+
+    def test_tiff_kernels_tolerant_at_4_bits(self):
+        rgb = rgb_scene(32)
+        kernel = Tiff2BWKernel()
+        ref = kernel.run_exact(rgb)
+        out = kernel.run(rgb, ApproxContext(alu_bits=4, seed=1))
+        assert psnr(ref, out) > 20.0
+
+
+class TestFFT:
+    def test_impulse_has_flat_spectrum(self):
+        kernel = FFTKernel()
+        image = np.zeros((8, 32), dtype=np.int64)
+        image[:, 0] = 255
+        out = kernel.run_exact(image)
+        # An impulse's magnitude spectrum is flat across bins.
+        assert out.std(axis=1).max() <= 2
+
+    def test_dc_signal_concentrates_in_bin_zero(self):
+        kernel = FFTKernel()
+        image = np.full((4, 32), 200, dtype=np.int64)
+        out = kernel.run_exact(image)
+        assert np.all(out[:, 0] >= out[:, 1:].max(axis=1))
+
+    def test_sinusoid_peaks_at_its_frequency(self):
+        kernel = FFTKernel()
+        n = 64
+        t = np.arange(n)
+        row = (127 + 120 * np.sin(2 * np.pi * 8 * t / n)).astype(np.int64)
+        image = np.tile(row, (4, 1))
+        out = kernel.run_exact(image)
+        spectrum = out[0].astype(float)
+        spectrum[0] = 0  # ignore DC
+        peak = int(np.argmax(spectrum[: n // 2]))
+        assert peak == 8
+
+    def test_power_of_two_required(self):
+        kernel = FFTKernel()
+        with pytest.raises(KernelError):
+            kernel.run_exact(np.zeros((8, 24), dtype=np.int64))
+
+    def test_noise_degrades_gracefully(self, image64):
+        kernel = FFTKernel()
+        ref = kernel.run_exact(image64)
+        high = psnr(ref, kernel.run(image64, ApproxContext(alu_bits=7, seed=1)))
+        low = psnr(ref, kernel.run(image64, ApproxContext(alu_bits=2, seed=1)))
+        assert high > low
+        assert high > 25.0
+
+
+class TestHuffmanTables:
+    """The Annex K tables must match the spec's known code lengths."""
+
+    def test_ac_table_complete(self):
+        from repro.kernels.jpeg import _AC_CODE_LENGTHS
+
+        assert len(_AC_CODE_LENGTHS) == 162
+        # Every regular (run, size) pair with run<=15, 1<=size<=10.
+        for run in range(16):
+            for size in range(1, 11):
+                assert (run, size) in _AC_CODE_LENGTHS
+
+    def test_known_code_lengths(self):
+        from repro.kernels.jpeg import _AC_CODE_LENGTHS, _DC_CODE_LENGTHS
+
+        assert _AC_CODE_LENGTHS[(0, 0)] == 4    # EOB = '1010'
+        assert _AC_CODE_LENGTHS[(0, 1)] == 2    # '00'
+        assert _AC_CODE_LENGTHS[(0, 2)] == 2    # '01'
+        assert _AC_CODE_LENGTHS[(15, 0)] == 11  # ZRL
+        assert _DC_CODE_LENGTHS[0] == 2
+        assert _DC_CODE_LENGTHS[11] == 9
+
+    def test_code_lengths_within_huffman_bounds(self):
+        from repro.kernels.jpeg import _AC_CODE_LENGTHS
+
+        assert all(1 <= bits <= 16 for bits in _AC_CODE_LENGTHS.values())
+
+    def test_realistic_compression_rate(self, image32):
+        """A natural scene should land near 1-2 bits/pixel intra."""
+        kernel = JPEGEncodeKernel()
+        result = kernel.encode(image32, None)
+        rate = result.size_bits / image32.size
+        assert 0.3 < rate < 4.0
+
+    def test_all_zero_blocks_cost_dc_plus_eob(self):
+        kernel = JPEGEncodeKernel()
+        flat = np.full((8, 8), 128, dtype=np.int64)
+        result = kernel.encode(flat, None)
+        # DC category for 128-shifted... one block: small fixed cost.
+        assert result.size_bits < 40

@@ -1,0 +1,73 @@
+"""Tests for the kernel registry and the cross-kernel quality ordering."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.kernels import ApproxContext, all_kernels, create_kernel, rgb_scene
+from repro.kernels import test_scene as make_scene
+from repro.kernels.registry import KERNEL_NAMES, kernel_mix
+from repro.quality import psnr
+
+
+class TestRegistry:
+    def test_ten_kernels(self):
+        """The Figure 28 suite has ten testbenches."""
+        assert len(KERNEL_NAMES) == 10
+
+    def test_create_each(self):
+        for name in KERNEL_NAMES:
+            kernel = create_kernel(name)
+            assert kernel.name == name
+
+    def test_all_kernels_order(self):
+        kernels = all_kernels()
+        assert [k.name for k in kernels] == list(KERNEL_NAMES)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KernelError):
+            create_kernel("bilateral")
+        with pytest.raises(KernelError):
+            kernel_mix("bilateral")
+
+    def test_mixes_resolve(self):
+        for name in KERNEL_NAMES:
+            mix = kernel_mix(name)
+            assert mix.mean_energy_weight > 0
+
+    def test_instances_are_fresh(self):
+        assert create_kernel("median") is not create_kernel("median")
+
+
+class TestSuiteWideQuality:
+    """Every kernel must run approximately and degrade monotonically."""
+
+    @pytest.mark.parametrize("name", KERNEL_NAMES)
+    def test_runs_at_all_bit_levels(self, name):
+        kernel = create_kernel(name)
+        image = rgb_scene(16) if name == "tiff2bw" else make_scene(16, "mixed", seed=3)
+        for bits in (8, 4, 1):
+            out = kernel.run(image, ApproxContext(alu_bits=bits, seed=1))
+            assert np.asarray(out).size > 0
+
+    @pytest.mark.parametrize("name", KERNEL_NAMES)
+    def test_quality_degrades_with_fewer_bits(self, name):
+        kernel = create_kernel(name)
+        image = rgb_scene(32) if name == "tiff2bw" else make_scene(32, "mixed", seed=3)
+        ref = kernel.run_exact(image)
+        high = psnr(ref, kernel.run(image, ApproxContext(alu_bits=7, seed=1)))
+        low = psnr(ref, kernel.run(image, ApproxContext(alu_bits=1, seed=1)))
+        assert high >= low
+
+    def test_sobel_least_tolerant_of_the_quality_trio(self):
+        """Figure 12's headline ordering at a 2-bit budget."""
+        image = make_scene(64, "mixed", seed=7)
+        scores = {}
+        for name in ("sobel", "median", "integral"):
+            kernel = create_kernel(name)
+            ref = kernel.run_exact(image)
+            scores[name] = psnr(
+                ref, kernel.run(image, ApproxContext(alu_bits=2, seed=1))
+            )
+        assert scores["sobel"] < scores["median"]
+        assert scores["sobel"] < scores["integral"]

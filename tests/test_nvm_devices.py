@@ -1,0 +1,79 @@
+"""Tests for the alternative NVM device presets."""
+
+import pytest
+
+from repro.errors import NVMError
+from repro.nvm.devices import (
+    DEVICE_PRESETS,
+    device_by_name,
+    endurance_lifetime_years,
+    recommend_device,
+)
+from repro.nvm.retention import LinearRetention
+
+
+class TestPresets:
+    def test_four_technologies(self):
+        assert set(DEVICE_PRESETS) == {"stt-ram", "reram", "pcram", "feram"}
+
+    def test_lookup(self):
+        assert device_by_name("reram").name == "reram"
+        with pytest.raises(NVMError):
+            device_by_name("nram")
+
+    def test_feram_has_no_retention_knob(self):
+        """FeRAM's polarization writes are not retention-tunable."""
+        assert not device_by_name("feram").supports_dynamic_retention
+        assert device_by_name("stt-ram").supports_dynamic_retention
+
+    def test_every_cell_model_is_consistent(self):
+        """All presets expose the same monotone write physics."""
+        for spec in DEVICE_PRESETS.values():
+            cell = spec.cell
+            pulses = (cell.min_pulse_ns * 1.5, cell.min_pulse_ns * 3.0)
+            currents = [cell.write_current_ua(p, 1.0) for p in pulses]
+            assert currents[0] > currents[1]
+            assert cell.write_current_ua(pulses[0], 60.0) > cell.write_current_ua(
+                pulses[0], 0.01
+            )
+
+    def test_reram_writes_cheaper_than_pcram(self):
+        policy = LinearRetention()
+        reram = policy.word_write_energy_pj(device_by_name("reram").cell)
+        pcram = policy.word_write_energy_pj(device_by_name("pcram").cell)
+        assert reram < pcram
+
+
+class TestEndurance:
+    def test_lifetime_arithmetic(self):
+        device = device_by_name("reram")  # 1e8 cycles
+        # 1500 backups/min -> 1e8/25 s ~ 46 days.
+        years = endurance_lifetime_years(device, 1_500.0)
+        assert 0.1 < years < 0.2
+
+    def test_stt_ram_survives_the_paper_cadence(self):
+        """Footnote 1: STT-RAM is chosen for endurance at 1400-1700
+        backups per minute."""
+        stt = endurance_lifetime_years(device_by_name("stt-ram"), 1_700.0)
+        reram = endurance_lifetime_years(device_by_name("reram"), 1_700.0)
+        assert stt > 10.0
+        assert reram < 1.0
+
+    def test_zero_rate_is_infinite(self):
+        assert endurance_lifetime_years(device_by_name("reram"), 0.0) == float("inf")
+
+
+class TestRecommendation:
+    def test_paper_cadence_picks_stt_ram(self):
+        best, lifetimes = recommend_device(1_500.0, lifetime_years=10.0)
+        assert best.name == "stt-ram"
+        assert lifetimes["reram"] < 10.0
+
+    def test_infrequent_backups_open_reram(self):
+        """'ReRAM is an excellent option for infrequent backups.'"""
+        best, _ = recommend_device(1.0, lifetime_years=10.0)
+        assert best.name == "reram"
+
+    def test_impossible_requirement_raises(self):
+        with pytest.raises(NVMError):
+            recommend_device(1e12, lifetime_years=100.0)

@@ -1,0 +1,173 @@
+"""Tests for the retention-failure (bit decay) model (Figure 22)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NVMError
+from repro.nvm.failures import (
+    FailureCounts,
+    RetentionFailureModel,
+    count_retention_failures,
+)
+from repro.nvm.retention import (
+    LinearRetention,
+    LogRetention,
+    ParabolaRetention,
+    UniformRetention,
+)
+
+
+class TestExpiredBits:
+    def test_short_outage_expires_nothing(self):
+        model = RetentionFailureModel(LinearRetention())
+        assert not model.expired_bits(0).any()
+        assert not model.expired_bits(400).any()  # below T(1) = 427
+
+    def test_expiry_grows_with_outage(self):
+        model = RetentionFailureModel(LinearRetention())
+        assert model.violation_count(500) == 1      # only the LSB
+        assert model.violation_count(1000) == 2     # bits 1-2
+        assert model.violation_count(10_000) == 8   # all bits
+
+    def test_lsb_expires_first(self):
+        model = RetentionFailureModel(LinearRetention())
+        mask = model.expired_bits(900)  # T(1)=427, T(2)=854, T(3)=1281
+        assert mask[0] and mask[1] and not mask[2]
+
+    def test_word_bits_property(self):
+        assert RetentionFailureModel(LinearRetention()).word_bits == 8
+
+
+class TestCorruptWords:
+    def test_no_expiry_means_identity(self):
+        model = RetentionFailureModel(LinearRetention(), seed=1)
+        words = np.arange(32)
+        out = model.corrupt_words(words, 100)
+        np.testing.assert_array_equal(out, words)
+        assert out is not words  # defensive copy
+
+    def test_only_expired_bits_change(self):
+        model = RetentionFailureModel(LinearRetention(), seed=1)
+        words = np.full(256, 0b10101010, dtype=np.int64)
+        out = model.corrupt_words(words, 900)  # bits 1-2 expired
+        assert np.all((out & ~0b11) == (words & ~0b11))
+
+    def test_flip_probability_half(self):
+        model = RetentionFailureModel(
+            LinearRetention(), decay_flip_probability=0.5, seed=2
+        )
+        words = np.zeros(4000, dtype=np.int64)
+        out = model.corrupt_words(words, 500)  # LSB expired
+        flip_rate = np.mean(out & 1)
+        assert 0.45 < flip_rate < 0.55
+
+    def test_zero_probability_never_flips(self):
+        model = RetentionFailureModel(
+            LinearRetention(), decay_flip_probability=0.0, seed=3
+        )
+        words = np.arange(100)
+        np.testing.assert_array_equal(model.corrupt_words(words, 10_000), words)
+
+    def test_rejects_float_array(self):
+        model = RetentionFailureModel(LinearRetention())
+        with pytest.raises(NVMError):
+            model.corrupt_words(np.ones(4, dtype=float), 100)
+
+    def test_deterministic_per_seed(self):
+        a = RetentionFailureModel(LogRetention(), seed=9).corrupt_words(
+            np.arange(64), 700
+        )
+        b = RetentionFailureModel(LogRetention(), seed=9).corrupt_words(
+            np.arange(64), 700
+        )
+        np.testing.assert_array_equal(a, b)
+
+
+class TestFailureCounting:
+    def test_counts_per_bit(self):
+        # Linear: T = 427*B. Durations 500 (kills b1) and 1000 (b1,b2).
+        counts = count_retention_failures([500, 1000], LinearRetention())
+        assert counts.per_bit[0] == 2
+        assert counts.per_bit[1] == 1
+        assert counts.per_bit[2] == 0
+
+    def test_totals(self):
+        counts = count_retention_failures([10_000] * 3, LinearRetention())
+        assert counts.total == 24  # all 8 bits x 3 outages
+
+    def test_empty_outages(self):
+        counts = count_retention_failures([], LinearRetention())
+        assert counts.total == 0
+
+    def test_for_bit_accessor(self):
+        counts = count_retention_failures([500], LinearRetention())
+        assert counts.for_bit(1) == 1
+        with pytest.raises(NVMError):
+            counts.for_bit(9)
+
+    def test_backup_fraction_subsamples(self):
+        full = count_retention_failures([500] * 1000, LinearRetention())
+        half = count_retention_failures(
+            [500] * 1000, LinearRetention(), backup_fraction=0.5, seed=1
+        )
+        assert half.total < full.total
+        assert half.total > 0
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(NVMError):
+            count_retention_failures([-1], LinearRetention())
+
+    def test_policy_name_recorded(self):
+        counts = count_retention_failures([500], LogRetention())
+        assert counts.policy_name == "log"
+
+
+class TestFigure22Shape:
+    def test_failures_decrease_toward_msb(self):
+        """Figure 22: the LSB fails most, the MSB least."""
+        rng = np.random.default_rng(0)
+        durations = (rng.lognormal(3.5, 1.4, size=500)).astype(int)
+        for policy in (LinearRetention(), LogRetention(), ParabolaRetention()):
+            counts = count_retention_failures(durations, policy)
+            assert counts.per_bit[0] >= counts.per_bit[3] >= counts.per_bit[7]
+
+    def test_log_policy_fails_most(self):
+        """Figure 22: log has by far the most violations."""
+        rng = np.random.default_rng(1)
+        durations = (rng.lognormal(3.5, 1.4, size=500)).astype(int)
+        log = count_retention_failures(durations, LogRetention()).total
+        linear = count_retention_failures(durations, LinearRetention()).total
+        parabola = count_retention_failures(durations, ParabolaRetention()).total
+        assert log > linear
+        assert log > parabola
+
+    def test_parabola_protects_upper_bits_best(self):
+        """Parabola's long upper-bit retention yields the fewest
+        violations on bits 3-8 (its LSB is the trade-off)."""
+        rng = np.random.default_rng(1)
+        durations = (rng.lognormal(3.5, 1.4, size=500)).astype(int)
+        linear = count_retention_failures(durations, LinearRetention())
+        parabola = count_retention_failures(durations, ParabolaRetention())
+        for bit in range(3, 9):
+            assert parabola.for_bit(bit) <= linear.for_bit(bit)
+
+    def test_uniform_long_retention_never_fails(self):
+        counts = count_retention_failures([3000] * 100, UniformRetention(86_400.0))
+        assert counts.total == 0
+
+
+class TestFailureProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=20_000), max_size=100))
+    @settings(max_examples=40, deadline=None)
+    def test_per_bit_monotone_nonincreasing(self, durations):
+        counts = count_retention_failures(durations, LinearRetention())
+        per_bit = counts.per_bit
+        assert all(per_bit[i] >= per_bit[i + 1] for i in range(7))
+
+    @given(st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=40, deadline=None)
+    def test_violation_count_bounded(self, outage):
+        model = RetentionFailureModel(LogRetention())
+        assert 0 <= model.violation_count(outage) <= 8

@@ -1,0 +1,191 @@
+"""Tests for the multi-version NVM data memory (Section 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MergeError, NVMError
+from repro.nvm.memory import MAX_VERSIONS, MERGE_MODES, VersionedNVMemory
+
+
+@pytest.fixture()
+def mem():
+    return VersionedNVMemory(n_words=16)
+
+
+class TestBasics:
+    def test_dimensions(self, mem):
+        assert mem.n_words == 16
+        assert mem.versions == MAX_VERSIONS
+        assert mem.max_value == 255
+
+    def test_initially_zero(self, mem):
+        assert mem.read(0).sum() == 0
+        assert mem.read_precision(0).sum() == 0
+
+    def test_write_read_round_trip(self, mem):
+        mem.write(1, slice(0, 4), [10, 20, 30, 40], 8)
+        np.testing.assert_array_equal(mem.read(1, slice(0, 4)), [10, 20, 30, 40])
+        np.testing.assert_array_equal(mem.read_precision(1, slice(0, 4)), [8] * 4)
+
+    def test_values_clipped_to_word(self, mem):
+        mem.write(0, 0, 300, 8)
+        assert mem.read(0, 0) == 255
+
+    def test_version_bounds(self, mem):
+        with pytest.raises(NVMError):
+            mem.write(4, 0, 1, 8)
+        with pytest.raises(NVMError):
+            mem.read(-1)
+
+    def test_precision_bounds(self, mem):
+        with pytest.raises(NVMError):
+            mem.write(0, 0, 1, 9)
+
+    def test_clear_version(self, mem):
+        mem.write(2, slice(None), np.arange(16), 5)
+        mem.clear_version(2)
+        assert mem.read(2).sum() == 0
+        assert mem.read_precision(2).sum() == 0
+
+    def test_reads_are_copies(self, mem):
+        mem.write(0, 0, 7, 8)
+        view = mem.read(0)
+        view[0] = 99
+        assert mem.read(0, 0) == 7
+
+    def test_max_four_versions(self):
+        with pytest.raises(NVMError):
+            VersionedNVMemory(8, versions=5)
+
+
+class TestMergeModes:
+    def _fill(self, mem, dst_vals, dst_prec, src_vals, src_prec):
+        mem.write(0, slice(0, len(dst_vals)), dst_vals, dst_prec)
+        mem.write(1, slice(0, len(src_vals)), src_vals, src_prec)
+
+    def test_sum_saturates(self, mem):
+        self._fill(mem, [200, 10], [8, 8], [100, 5], [8, 8])
+        changed = mem.merge_versions(0, 1, "sum", slice(0, 2))
+        np.testing.assert_array_equal(mem.read(0, slice(0, 2)), [255, 15])
+        assert changed == 2
+
+    def test_sum_precision_is_minimum(self, mem):
+        self._fill(mem, [1], [6], [1], [3])
+        mem.merge_versions(0, 1, "sum", slice(0, 1))
+        assert mem.read_precision(0, 0) == 3
+
+    def test_max_takes_larger_value_and_its_precision(self, mem):
+        self._fill(mem, [10, 90], [8, 2], [50, 20], [4, 8])
+        mem.merge_versions(0, 1, "max", slice(0, 2))
+        np.testing.assert_array_equal(mem.read(0, slice(0, 2)), [50, 90])
+        np.testing.assert_array_equal(mem.read_precision(0, slice(0, 2)), [4, 2])
+
+    def test_min_takes_smaller_value(self, mem):
+        self._fill(mem, [10, 90], [8, 2], [50, 20], [4, 8])
+        mem.merge_versions(0, 1, "min", slice(0, 2))
+        np.testing.assert_array_equal(mem.read(0, slice(0, 2)), [10, 20])
+
+    def test_higherbits_covers_lower(self, mem):
+        """Table 1: higher-bit results cover lower-bit results."""
+        self._fill(mem, [100, 100], [2, 8], [40, 40], [8, 2])
+        mem.merge_versions(0, 1, "higherbits", slice(0, 2))
+        np.testing.assert_array_equal(mem.read(0, slice(0, 2)), [40, 100])
+        np.testing.assert_array_equal(mem.read_precision(0, slice(0, 2)), [8, 8])
+
+    def test_higherbits_tie_keeps_destination(self, mem):
+        self._fill(mem, [100], [4], [40], [4])
+        changed = mem.merge_versions(0, 1, "higherbits", slice(0, 1))
+        assert mem.read(0, 0) == 100
+        assert changed == 0
+
+    def test_unknown_mode_rejected(self, mem):
+        with pytest.raises(MergeError):
+            mem.merge_versions(0, 1, "xor")
+
+    def test_self_merge_rejected(self, mem):
+        with pytest.raises(MergeError):
+            mem.merge_versions(1, 1, "sum")
+
+    def test_modes_registry(self):
+        assert MERGE_MODES == ("sum", "max", "min", "higherbits")
+
+
+class TestSnapshotRestore:
+    def test_full_round_trip(self, mem):
+        mem.write(0, slice(None), np.arange(16), 8)
+        mem.write(3, slice(None), np.arange(16)[::-1], 4)
+        values, precision = mem.snapshot()
+        mem.clear_version(0)
+        mem.clear_version(3)
+        mem.restore(values, precision)
+        np.testing.assert_array_equal(mem.read(0), np.arange(16))
+        np.testing.assert_array_equal(mem.read_precision(3), [4] * 16)
+
+    def test_single_version_round_trip(self, mem):
+        mem.write(2, slice(None), np.arange(16), 5)
+        values, precision = mem.snapshot(version=2)
+        mem.clear_version(2)
+        mem.restore(values, precision, version=2)
+        np.testing.assert_array_equal(mem.read(2), np.arange(16))
+
+    def test_restore_shape_checked(self, mem):
+        with pytest.raises(NVMError):
+            mem.restore(np.zeros((2, 2)), np.zeros((2, 2)))
+
+    def test_snapshot_is_a_copy(self, mem):
+        mem.write(0, 0, 5, 8)
+        values, _ = mem.snapshot(version=0)
+        values[0] = 99
+        assert mem.read(0, 0) == 5
+
+
+class TestMergeProperties:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=255), min_size=8, max_size=8),
+        st.lists(st.integers(min_value=0, max_value=255), min_size=8, max_size=8),
+        st.sampled_from(MERGE_MODES),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_merged_values_in_word_range(self, dst, src, mode):
+        mem = VersionedNVMemory(8)
+        mem.write(0, slice(None), dst, 4)
+        mem.write(1, slice(None), src, 6)
+        mem.merge_versions(0, 1, mode)
+        out = mem.read(0)
+        assert out.min() >= 0 and out.max() <= 255
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=255), min_size=8, max_size=8),
+        st.lists(st.integers(min_value=0, max_value=255), min_size=8, max_size=8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_max_merge_commutative_in_value(self, a, b):
+        m1 = VersionedNVMemory(8)
+        m1.write(0, slice(None), a, 8)
+        m1.write(1, slice(None), b, 8)
+        m1.merge_versions(0, 1, "max")
+
+        m2 = VersionedNVMemory(8)
+        m2.write(0, slice(None), b, 8)
+        m2.write(1, slice(None), a, 8)
+        m2.merge_versions(0, 1, "max")
+
+        np.testing.assert_array_equal(m1.read(0), m2.read(0))
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=255), min_size=4, max_size=4),
+        st.lists(st.integers(min_value=0, max_value=8), min_size=4, max_size=4),
+        st.lists(st.integers(min_value=0, max_value=255), min_size=4, max_size=4),
+        st.lists(st.integers(min_value=0, max_value=8), min_size=4, max_size=4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_higherbits_precision_never_decreases(self, dv, dp, sv, sp):
+        mem = VersionedNVMemory(4)
+        mem.write(0, slice(None), dv, dp)
+        mem.write(1, slice(None), sv, sp)
+        before = mem.read_precision(0)
+        mem.merge_versions(0, 1, "higherbits")
+        after = mem.read_precision(0)
+        assert np.all(after >= before)

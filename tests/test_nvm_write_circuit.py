@@ -1,0 +1,111 @@
+"""Tests for the behavioral dynamic-retention write circuit (Figure 7)."""
+
+import pytest
+
+from repro.errors import NVMError
+from repro.nvm.retention import LinearRetention, LogRetention, ParabolaRetention
+from repro.nvm.sttram import STTRAMModel
+from repro.nvm.write_circuit import DynamicRetentionWriteCircuit
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return DynamicRetentionWriteCircuit()
+
+
+class TestConstruction:
+    def test_default_mirror_has_eight_currents(self, circuit):
+        assert len(circuit.mirror_currents_ua) == 8
+
+    def test_default_mirror_spread_under_3x(self, circuit):
+        """Paper: 'the maximum current variation ratio is less than 3X'."""
+        currents = circuit.mirror_currents_ua
+        assert currents[-1] / currents[0] < 3.0
+
+    def test_mirror_must_be_ascending(self):
+        with pytest.raises(NVMError):
+            DynamicRetentionWriteCircuit(mirror_currents_ua=[100] * 7 + [50])
+
+    def test_mirror_must_have_eight(self):
+        with pytest.raises(NVMError):
+            DynamicRetentionWriteCircuit(mirror_currents_ua=[10, 20, 30])
+
+    def test_mirror_bounded_by_driver(self):
+        cell = STTRAMModel(max_current_ua=100.0)
+        with pytest.raises(NVMError):
+            DynamicRetentionWriteCircuit(
+                cell=cell, mirror_currents_ua=[20, 30, 40, 50, 60, 70, 80, 150]
+            )
+
+    def test_pulse_codes_quantised_by_counter(self, circuit):
+        codes = circuit.pulse_codes_ns
+        assert len(codes) == 2 ** circuit.counter_bits
+        assert codes[0] == pytest.approx(circuit.counter_period_ns)
+
+    def test_transistor_overhead_documented(self, circuit):
+        assert circuit.TRANSISTOR_OVERHEAD <= 200
+
+
+class TestBitPlanning:
+    def test_achieves_requested_retention(self, circuit):
+        record = circuit.plan_bit_write(1, 0.05)
+        assert record.achieved_retention_s >= 0.05
+        assert record.retention_margin >= 1.0
+
+    def test_cheaper_for_shorter_retention(self, circuit):
+        short = circuit.plan_bit_write(1, 0.01)
+        long = circuit.plan_bit_write(8, 3600.0)
+        assert short.energy_pj < long.energy_pj
+
+    def test_selects_valid_mirror_level(self, circuit):
+        record = circuit.plan_bit_write(4, 1.0)
+        assert 1 <= record.current_level <= 8
+        assert record.current_ua == circuit.mirror_currents_ua[record.current_level - 1]
+
+    def test_counter_code_consistent_with_pulse(self, circuit):
+        record = circuit.plan_bit_write(4, 1.0)
+        assert record.pulse_ns == pytest.approx(
+            record.counter_code * circuit.counter_period_ns
+        )
+
+    def test_impossible_retention_rejected(self, circuit):
+        with pytest.raises(NVMError):
+            circuit.plan_bit_write(8, 1e14)  # geological: beyond the drive
+
+    def test_rejects_nonpositive_retention(self, circuit):
+        with pytest.raises(NVMError):
+            circuit.plan_bit_write(1, 0.0)
+
+
+class TestWordPlanning:
+    def test_plans_all_bits(self, circuit):
+        plan = circuit.plan_word_write(LinearRetention())
+        assert len(plan.bits) == 8
+        assert [b.bit_index for b in plan.bits] == list(range(1, 9))
+
+    def test_msb_costs_at_least_lsb(self, circuit):
+        plan = circuit.plan_word_write(LinearRetention())
+        assert plan.bits[7].energy_pj >= plan.bits[0].energy_pj
+
+    def test_energy_aggregation(self, circuit):
+        plan = circuit.plan_word_write(LogRetention())
+        assert plan.energy_pj == pytest.approx(sum(b.energy_pj for b in plan.bits))
+        assert plan.max_pulse_ns == max(b.pulse_ns for b in plan.bits)
+
+    def test_quantised_energy_at_least_analytic(self, circuit):
+        """Hardware quantisation can only cost more than the optimum."""
+        for policy in (LinearRetention(), LogRetention(), ParabolaRetention()):
+            analytic = policy.word_write_energy_pj(circuit.cell)
+            quantised = circuit.word_energy_pj(policy)
+            assert quantised >= analytic * 0.99
+
+    def test_policy_ordering_preserved(self, circuit):
+        """The hardware keeps log < linear < parabola word energy."""
+        log = circuit.word_energy_pj(LogRetention())
+        linear = circuit.word_energy_pj(LinearRetention())
+        parabola = circuit.word_energy_pj(ParabolaRetention())
+        assert log < linear < parabola
+
+    def test_rejects_non_policy(self, circuit):
+        with pytest.raises(NVMError):
+            circuit.plan_word_write("linear")

@@ -1,0 +1,117 @@
+"""Tests for the 8051-class assembler."""
+
+import pytest
+
+from repro.errors import ProcessorError
+from repro.nvp.asm import Operand, assemble
+from repro.nvp.isa import InstructionClass
+
+
+class TestAssembleBasics:
+    def test_simple_program(self):
+        program = assemble("MOV A, #5\nADD A, #3\nHALT")
+        assert len(program) == 3
+        assert program[0].mnemonic == "MOV"
+        assert program[1].klass is InstructionClass.ALU
+
+    def test_case_insensitive(self):
+        program = assemble("mov a, #5\nhalt")
+        assert program[0].mnemonic == "MOV"
+
+    def test_comments_stripped(self):
+        program = assemble("MOV A, #1 ; set accumulator\nHALT ; done")
+        assert len(program) == 2
+
+    def test_blank_lines_ignored(self):
+        program = assemble("\nMOV A, #1\n\n\nHALT\n")
+        assert len(program) == 2
+
+    def test_labels_resolve(self):
+        program = assemble(
+            """
+            MOV R0, #3
+        loop:
+            DJNZ R0, loop
+            HALT
+            """
+        )
+        assert program.label_address("loop") == 1
+        assert program[1].target == 1
+
+    def test_forward_label(self):
+        program = assemble(
+            """
+            JZ done
+            MOV A, #1
+        done:
+            HALT
+            """
+        )
+        assert program[0].target == 2
+
+    def test_label_on_same_line_as_instruction(self):
+        program = assemble("start: MOV A, #1\nSJMP start")
+        assert program.label_address("start") == 0
+
+    def test_trailing_label_points_past_end(self):
+        program = assemble("JZ end\nMOV A, #1\nend:")
+        assert program[0].target == 2
+
+    def test_register_operands(self):
+        program = assemble("MOV R7, #255\nHALT")
+        assert program[0].operands[0] == Operand("reg", value=7)
+
+    def test_hex_immediates(self):
+        program = assemble("MOV A, #0x1F\nHALT")
+        assert program[0].operands[1].value == 31
+
+    def test_dptr_16bit_immediate(self):
+        program = assemble("MOV DPTR, #512\nHALT")
+        assert program[0].operands[1].value == 512
+
+    def test_b_register(self):
+        program = assemble("MOV B, #77\nMUL AB\nMOV A, B\nHALT")
+        assert program[0].operands[0].kind == "breg"
+
+
+class TestAssembleErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(ProcessorError, match="unknown mnemonic"):
+            assemble("FLY A, #1")
+
+    def test_bad_operands(self):
+        with pytest.raises(ProcessorError, match="bad operands"):
+            assemble("ADD R1, R2")  # 8051 adds only into A
+
+    def test_undefined_label(self):
+        with pytest.raises(ProcessorError, match="undefined label"):
+            assemble("SJMP nowhere")
+
+    def test_duplicate_label(self):
+        with pytest.raises(ProcessorError, match="duplicate label"):
+            assemble("x: NOP\nx: NOP")
+
+    def test_label_shadowing_mnemonic(self):
+        with pytest.raises(ProcessorError, match="shadows"):
+            assemble("MOV: NOP")
+
+    def test_immediate_out_of_range(self):
+        with pytest.raises(ProcessorError, match="out of range"):
+            assemble("MOV DPTR, #70000")
+
+    def test_bad_immediate_text(self):
+        with pytest.raises(ProcessorError, match="bad immediate"):
+            assemble("MOV A, #zebra")
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(ProcessorError, match="line 3"):
+            assemble("NOP\nNOP\nFLY A")
+
+
+class TestTiming:
+    def test_classic_cycle_counts(self):
+        program = assemble("MOV A, #1\nMOVX A, @DPTR\nMUL AB\nSJMP end\nend:")
+        assert program[0].cycles == 12
+        assert program[1].cycles == 24
+        assert program[2].cycles == 48
+        assert program[3].cycles == 24

@@ -1,0 +1,141 @@
+"""Tests for the approximate ALU (noisy-low-bits semantics)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProcessorError
+from repro.nvp.datapath import ApproximateALU, alu_reduce_bits
+
+
+class TestAluReduceBits:
+    def test_full_precision_is_identity(self):
+        rng = np.random.default_rng(0)
+        values = np.arange(256)
+        out = alu_reduce_bits(values, 8, rng)
+        np.testing.assert_array_equal(out, values)
+
+    def test_preserves_top_bits(self):
+        rng = np.random.default_rng(1)
+        values = np.arange(256)
+        out = alu_reduce_bits(values, 4, rng)
+        np.testing.assert_array_equal(out >> 4, values >> 4)
+
+    def test_low_bits_randomised(self):
+        rng = np.random.default_rng(2)
+        values = np.zeros(10_000, dtype=np.int64)
+        out = alu_reduce_bits(values, 4, rng)
+        low = out & 0x0F
+        # Uniform over 0..15: mean ~7.5.
+        assert 6.5 < low.mean() < 8.5
+
+    def test_output_in_word_range(self):
+        rng = np.random.default_rng(3)
+        out = alu_reduce_bits(np.arange(256), 1, rng)
+        assert out.min() >= 0 and out.max() <= 255
+
+    def test_per_element_bits(self):
+        rng = np.random.default_rng(4)
+        values = np.full(2, 0xF0)
+        bits = np.array([8, 1])
+        out = alu_reduce_bits(values, bits, rng)
+        assert out[0] == 0xF0          # exact lane
+        assert (out[1] >> 7) == 1      # only the top bit guaranteed
+
+    def test_rejects_float_values(self):
+        with pytest.raises(ProcessorError):
+            alu_reduce_bits(np.ones(4), 4, np.random.default_rng(0))
+
+    def test_rejects_bits_out_of_range(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ProcessorError):
+            alu_reduce_bits(np.arange(4), 0, rng)
+        with pytest.raises(ProcessorError):
+            alu_reduce_bits(np.arange(4), 9, rng)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=64),
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_error_bounded_by_quantum(self, values, bits):
+        rng = np.random.default_rng(0)
+        arr = np.array(values)
+        out = alu_reduce_bits(arr, bits, rng)
+        quantum = 1 << (8 - bits)
+        assert np.all(np.abs(out - arr) < quantum)
+
+
+class TestApproximateALUOps:
+    def test_add_saturates(self):
+        alu = ApproximateALU(seed=0)
+        out = alu.add(np.array([250]), np.array([250]), 8)
+        assert out[0] == 255
+
+    def test_sub_clamps_at_zero(self):
+        alu = ApproximateALU(seed=0)
+        out = alu.sub(np.array([10]), np.array([50]), 8)
+        assert out[0] == 0
+
+    def test_mul_shift(self):
+        alu = ApproximateALU(seed=0)
+        out = alu.mul_shift(np.array([100]), np.array([128]), 8, 8)
+        assert out[0] == 50
+
+    def test_compare_exact_at_full_bits(self):
+        alu = ApproximateALU(seed=0)
+        a = np.array([10, 200])
+        b = np.array([20, 100])
+        np.testing.assert_array_equal(alu.compare_values(a, b, 8), [False, True])
+
+    def test_compare_noisy_at_low_bits(self):
+        alu = ApproximateALU(seed=1)
+        a = np.full(2000, 100)
+        b = np.full(2000, 101)  # nearly equal: low-bit compares flip
+        flips = alu.compare_values(a, b, 1)
+        assert 0.1 < flips.mean() < 0.9
+
+    def test_op_count_accumulates(self):
+        alu = ApproximateALU(seed=0)
+        alu.add(np.arange(10), np.arange(10), 4)
+        assert alu.op_count >= 10
+
+    def test_passthrough_identity_at_full(self):
+        alu = ApproximateALU(seed=0)
+        values = np.arange(100)
+        np.testing.assert_array_equal(alu.passthrough(values, 8), values)
+
+    def test_deterministic_per_seed(self):
+        a = ApproximateALU(seed=5).passthrough(np.arange(64), 3)
+        b = ApproximateALU(seed=5).passthrough(np.arange(64), 3)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestSignedNoise:
+    def test_identity_at_full_precision(self):
+        alu = ApproximateALU(seed=0)
+        values = np.arange(-100, 100)
+        np.testing.assert_array_equal(alu.add_signed_noise(values, 8), values)
+
+    def test_zero_mean(self):
+        alu = ApproximateALU(seed=1)
+        out = alu.add_signed_noise(np.zeros(20_000, dtype=np.int64), 4)
+        assert abs(out.mean()) < 1.0
+
+    def test_noise_bounded_by_quantum(self):
+        alu = ApproximateALU(seed=2)
+        out = alu.add_signed_noise(np.zeros(5_000, dtype=np.int64), 3)
+        quantum = 1 << 5
+        assert np.all(np.abs(out) <= quantum // 2 + 1)
+
+    def test_preserves_sign_structure(self):
+        """Signed intermediates stay signed (no word clipping)."""
+        alu = ApproximateALU(seed=3)
+        out = alu.add_signed_noise(np.array([-1000, 1000]), 6)
+        assert out[0] < 0 < out[1]
+
+    def test_bits_validated(self):
+        alu = ApproximateALU(seed=0)
+        with pytest.raises(ProcessorError):
+            alu.add_signed_noise(np.zeros(4, dtype=np.int64), 0)

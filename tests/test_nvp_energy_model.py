@@ -1,0 +1,127 @@
+"""Tests for the calibrated NVP power/energy model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.nvm.retention import LinearRetention, LogRetention, ParabolaRetention
+from repro.nvp.energy_model import CYCLES_PER_TICK, EnergyModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return EnergyModel()
+
+
+class TestCalibrationAnchors:
+    def test_209uw_at_full_precision(self, model):
+        """Section 2.1: the NVP costs 0.209 mW at 1 MHz."""
+        assert model.uniform_run_power_uw(8) == pytest.approx(209.0)
+
+    def test_cycles_per_tick(self):
+        assert CYCLES_PER_TICK == 100  # 1 MHz x 0.1 ms
+
+    def test_one_bit_power_roughly_halved(self, model):
+        """Figure 15's driver: 1-bit power near half the 8-bit power."""
+        ratio = model.uniform_run_power_uw(1) / model.uniform_run_power_uw(8)
+        assert 0.4 < ratio < 0.65
+
+
+class TestRunPower:
+    def test_monotone_in_bits(self, model):
+        powers = [model.uniform_run_power_uw(b) for b in range(1, 9)]
+        assert powers == sorted(powers)
+
+    def test_fetch_shared_across_lanes(self, model):
+        """4 SIMD lanes cost far less than 4 separate processors."""
+        four_lanes = model.uniform_run_power_uw(8, simd_width=4)
+        four_chips = 4 * model.uniform_run_power_uw(8)
+        assert four_lanes < four_chips
+
+    def test_heterogeneous_lane_budgets(self, model):
+        mixed = model.run_power_uw([8, 2, 2, 2])
+        assert model.uniform_run_power_uw(8) < mixed
+        assert mixed < model.uniform_run_power_uw(8, simd_width=4)
+
+    def test_lane_count_bounds(self, model):
+        with pytest.raises(ConfigurationError):
+            model.run_power_uw([])
+        with pytest.raises(ConfigurationError):
+            model.run_power_uw([8] * 5)
+
+    def test_bits_bounds(self, model):
+        with pytest.raises(ConfigurationError):
+            model.uniform_run_power_uw(0)
+        with pytest.raises(ConfigurationError):
+            model.uniform_run_power_uw(9)
+
+    def test_simd_lane_op_is_cheaper(self, model):
+        """The core economics of incidental SIMD (Section 8.6)."""
+        single = model.energy_per_instruction_nj(8, simd_width=1)
+        wide = model.energy_per_instruction_nj(8, simd_width=4)
+        assert wide < single
+
+
+class TestBackupRestoreEnergy:
+    def test_precise_backup_is_base_cost(self, model):
+        assert model.backup_energy_uj() == pytest.approx(model.backup_base_uj)
+
+    def test_shaped_backup_cheaper(self, model):
+        for policy in (LinearRetention(), LogRetention(), ParabolaRetention()):
+            assert model.backup_energy_uj(policy) < model.backup_base_uj
+
+    def test_policy_ordering(self, model):
+        log = model.backup_energy_uj(LogRetention())
+        linear = model.backup_energy_uj(LinearRetention())
+        parabola = model.backup_energy_uj(ParabolaRetention())
+        assert log < linear < parabola
+
+    def test_state_fraction_scales_backup(self, model):
+        assert model.backup_energy_uj(state_fraction=0.5) == pytest.approx(
+            0.5 * model.backup_base_uj
+        )
+
+    def test_restore_cheaper_than_backup(self, model):
+        assert model.restore_energy_uj() < model.backup_energy_uj()
+
+    def test_restore_has_wakeup_floor(self, model):
+        tiny = model.restore_energy_uj(state_fraction=0.01)
+        assert tiny > 0.5 * model.restore_base_uj
+
+    def test_state_fraction_helper(self, model):
+        fraction = model.state_fraction([8], base_state_bits=200, lane_state_bits=300)
+        assert fraction == pytest.approx(1.0)
+        reduced = model.state_fraction([1], base_state_bits=200, lane_state_bits=300)
+        assert reduced < 1.0
+        widened = model.state_fraction([8, 8], base_state_bits=200, lane_state_bits=300)
+        assert widened > 1.0
+
+
+class TestEnergyModelProperties:
+    @given(
+        st.lists(st.integers(min_value=1, max_value=8), min_size=1, max_size=4)
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_power_bounded(self, lanes):
+        model = EnergyModel()
+        power = model.run_power_uw(lanes)
+        assert model.leakage_uw + model.fetch_uw < power
+        assert power <= model.uniform_run_power_uw(8, simd_width=4) + 1e-9
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=8), min_size=1, max_size=3),
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_adding_a_lane_increases_power(self, lanes, extra):
+        model = EnergyModel()
+        assert model.run_power_uw(lanes + [extra]) > model.run_power_uw(lanes)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            EnergyModel(datapath_uw=0.0)
+        with pytest.raises(ConfigurationError):
+            EnergyModel(datapath_floor=1.5)
+        with pytest.raises(ConfigurationError):
+            EnergyModel(backup_base_uj=0.0)

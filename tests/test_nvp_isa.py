@@ -1,0 +1,89 @@
+"""Tests for instruction classes and kernel mixes."""
+
+import pytest
+
+from repro.errors import ProcessorError
+from repro.nvp.isa import (
+    DEFAULT_MIX,
+    KERNEL_MIXES,
+    InstructionClass,
+    InstructionMix,
+)
+
+
+class TestInstructionClass:
+    def test_memory_ops_cost_more_than_alu(self):
+        assert InstructionClass.LOAD.weight > InstructionClass.ALU.weight
+        assert InstructionClass.STORE.weight > InstructionClass.ALU.weight
+
+    def test_mul_is_most_expensive(self):
+        weights = [cls.weight for cls in InstructionClass]
+        assert InstructionClass.MUL.weight == max(weights)
+
+    def test_classic_8051_cycles(self):
+        assert InstructionClass.ALU.cycles == 12
+        assert InstructionClass.LOAD.cycles == 24
+        assert InstructionClass.MUL.cycles == 48
+
+    def test_incidental_control_ops_exist(self):
+        assert InstructionClass.MARK_RESUME.label == "mark_resume"
+        assert InstructionClass.MERGE_REQUEST.label == "merge_request"
+
+
+class TestInstructionMix:
+    def test_default_mix_normalised(self):
+        total = sum(DEFAULT_MIX.fractions.values())
+        assert total == pytest.approx(1.0)
+
+    def test_mean_energy_weight_positive(self):
+        assert 0.5 < DEFAULT_MIX.mean_energy_weight < 2.0
+
+    def test_mean_cycles_in_8051_band(self):
+        assert 12.0 <= DEFAULT_MIX.mean_cycles <= 48.0
+
+    def test_rejects_unnormalised(self):
+        with pytest.raises(ProcessorError):
+            InstructionMix({InstructionClass.ALU: 0.5})
+
+    def test_rejects_negative_fraction(self):
+        with pytest.raises(ProcessorError):
+            InstructionMix(
+                {InstructionClass.ALU: 1.5, InstructionClass.NOP: -0.5}
+            )
+
+    def test_rejects_non_class_keys(self):
+        with pytest.raises(ProcessorError):
+            InstructionMix({"alu": 1.0})
+
+    def test_scaled_by_renormalises(self):
+        mix = DEFAULT_MIX.scaled_by(mul=0.2)
+        assert sum(mix.fractions.values()) == pytest.approx(1.0)
+        assert mix.fractions[InstructionClass.MUL] > DEFAULT_MIX.fractions[
+            InstructionClass.MUL
+        ]
+
+    def test_scaled_by_unknown_label(self):
+        with pytest.raises(ProcessorError):
+            DEFAULT_MIX.scaled_by(fly=0.1)
+
+    def test_scaled_by_all_zero_rejected(self):
+        only_alu = InstructionMix({InstructionClass.ALU: 1.0})
+        with pytest.raises(ProcessorError):
+            only_alu.scaled_by(alu=0.0)
+
+
+class TestKernelMixes:
+    def test_all_normalised(self):
+        for name, mix in KERNEL_MIXES.items():
+            assert sum(mix.fractions.values()) == pytest.approx(1.0), name
+
+    def test_mul_heavy_kernels(self):
+        """FFT and JPEG are multiply-heavy relative to the default."""
+        default_mul = DEFAULT_MIX.fractions[InstructionClass.MUL]
+        assert KERNEL_MIXES["fft"].fractions[InstructionClass.MUL] > default_mul
+        assert KERNEL_MIXES["jpeg_encode"].fractions[InstructionClass.MUL] > default_mul
+
+    def test_mixes_differ_in_energy(self):
+        """Figure 28's per-kernel variation stems from mix energy."""
+        weights = {name: mix.mean_energy_weight for name, mix in KERNEL_MIXES.items()}
+        assert len(set(round(w, 6) for w in weights.values())) > 3

@@ -1,0 +1,328 @@
+"""Tests for the 8051 interpreter and its NVP checkpointing semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProcessorError
+from repro.nvp import programs as P
+from repro.nvp.asm import assemble
+from repro.nvp.mcu import MCU8051
+
+
+def _mcu(source: str, **kwargs) -> MCU8051:
+    return MCU8051(assemble(source), **kwargs)
+
+
+class TestArithmetic:
+    def test_add_and_carry(self):
+        m = _mcu("MOV A, #200\nADD A, #100\nHALT")
+        m.run()
+        assert m.acc == (300 & 0xFF)
+        assert m.carry == 1
+
+    def test_addc_consumes_carry(self):
+        m = _mcu("MOV A, #255\nADD A, #1\nMOV A, #0\nADDC A, #0\nHALT")
+        m.run()
+        assert m.acc == 1  # the carry propagated
+
+    def test_subb_borrow(self):
+        m = _mcu("CLR C\nMOV A, #5\nSUBB A, #10\nHALT")
+        m.run()
+        assert m.acc == (5 - 10) & 0xFF
+        assert m.carry == 1
+
+    def test_mul_ab(self):
+        m = _mcu("MOV A, #200\nMOV B, #3\nMUL AB\nHALT")
+        m.run()
+        assert m.acc == (600 & 0xFF)
+        assert m.b == 600 >> 8
+
+    def test_logic_ops(self):
+        m = _mcu("MOV A, #0b1100\nANL A, #0b1010\nHALT")
+        m.run()
+        assert m.acc == 0b1000
+        m = _mcu("MOV A, #0b1100\nXRL A, #0b1010\nHALT")
+        m.run()
+        assert m.acc == 0b0110
+
+    def test_rotates_and_swap(self):
+        m = _mcu("MOV A, #0x81\nRL A\nHALT")
+        m.run()
+        assert m.acc == 0x03
+        m = _mcu("MOV A, #0x81\nRR A\nHALT")
+        m.run()
+        assert m.acc == 0xC0
+        m = _mcu("MOV A, #0xAB\nSWAP A\nHALT")
+        m.run()
+        assert m.acc == 0xBA
+
+
+class TestControlFlow:
+    def test_djnz_loop_count(self):
+        m = _mcu("MOV R0, #5\nMOV R1, #0\nloop: INC R1\nDJNZ R0, loop\nHALT")
+        m.run()
+        assert m.registers[1] == 5
+
+    def test_cjne_sets_carry_on_less(self):
+        m = _mcu("MOV A, #3\nCJNE A, #10, out\nout: HALT")
+        m.run()
+        assert m.carry == 1
+
+    def test_jz_jnz(self):
+        m = _mcu("MOV A, #0\nJZ yes\nMOV R0, #1\nyes: HALT")
+        m.run()
+        assert m.registers[0] == 0
+
+    def test_run_off_the_end_halts(self):
+        m = _mcu("NOP")
+        outcome = m.run()
+        assert outcome.instructions == 1
+        assert m.pc == 1
+
+    def test_cycle_budget_respected(self):
+        m = _mcu("loop: SJMP loop")  # infinite loop
+        outcome = m.run(max_cycles=240)
+        assert not outcome.halted
+        assert outcome.cycles == 240
+
+
+class TestXram:
+    def test_movx_round_trip(self):
+        m = _mcu("MOV DPTR, #100\nMOVX A, @DPTR\nADD A, #1\nMOVX @DPTR, A\nHALT")
+        m.load_xram(100, [41])
+        m.run()
+        assert m.read_xram(100, 1)[0] == 42
+
+    def test_preload_bounds_checked(self):
+        m = _mcu("HALT")
+        with pytest.raises(ProcessorError):
+            m.load_xram(4090, np.arange(20))
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ProcessorError):
+            MCU8051(assemble(""))
+
+
+class TestEnergyAccounting:
+    def test_energy_scales_with_cycles(self):
+        short = _mcu("HALT")
+        long = _mcu("MOV R0, #50\nloop: DJNZ R0, loop\nHALT")
+        a = short.run()
+        b = long.run()
+        assert b.cycles > a.cycles
+        assert b.energy_uj > a.energy_uj
+
+    def test_low_bit_execution_cheaper(self):
+        source = "MOV R0, #50\nloop: ADD A, #1\nDJNZ R0, loop\nHALT"
+        precise = _mcu(source, ac_bits=8).run()
+        approx = _mcu(source, ac_bits=2, seed=1).run()
+        assert approx.cycles == precise.cycles
+        assert approx.energy_uj < precise.energy_uj
+
+    def test_seconds_at_1mhz(self):
+        outcome = _mcu("NOP\nHALT").run()
+        assert outcome.seconds == pytest.approx(outcome.cycles / 1e6)
+
+
+class TestGoldenPrograms:
+    def test_vector_add(self):
+        rng = np.random.default_rng(1)
+        a, b = rng.integers(0, 256, 16), rng.integers(0, 256, 16)
+        m = MCU8051(P.vector_add_program(16))
+        m.load_xram(P.INPUT_A, a)
+        m.load_xram(P.INPUT_B, b)
+        assert m.run().halted
+        np.testing.assert_array_equal(
+            m.read_xram(P.OUTPUT, 16), P.golden_vector_add(a, b)
+        )
+
+    def test_saturating_sum(self):
+        for data in ([1, 2, 3], [200, 200], [255, 255, 255]):
+            m = MCU8051(P.saturating_sum_program(len(data)))
+            m.load_xram(P.INPUT_A, data)
+            m.run()
+            assert m.read_xram(P.OUTPUT, 1)[0] == P.golden_saturating_sum(data)
+
+    def test_threshold_count(self):
+        rng = np.random.default_rng(2)
+        data = rng.integers(0, 256, 32)
+        m = MCU8051(P.threshold_count_program(32, 100))
+        m.load_xram(P.INPUT_A, data)
+        m.run()
+        assert m.read_xram(P.OUTPUT, 1)[0] == P.golden_threshold_count(data, 100)
+
+    def test_scale_q8(self):
+        rng = np.random.default_rng(3)
+        data = rng.integers(0, 256, 16)
+        m = MCU8051(P.scale_q8_program(16, 150))
+        m.load_xram(P.INPUT_A, data)
+        m.run()
+        np.testing.assert_array_equal(
+            m.read_xram(P.OUTPUT, 16), (data * 150) >> 8
+        )
+
+    def test_approximate_threshold_count_degrades(self):
+        """Noisy compares miscount near the threshold but stay close."""
+        rng = np.random.default_rng(4)
+        data = rng.integers(0, 256, 64)
+        golden = P.golden_threshold_count(data, 128)
+        m = MCU8051(P.threshold_count_program(64, 128), ac_bits=4, seed=9)
+        m.load_xram(P.INPUT_A, data)
+        m.run()
+        measured = int(m.read_xram(P.OUTPUT, 1)[0])
+        assert abs(measured - golden) <= 16
+
+
+class TestNonvolatileCheckpointing:
+    """The NVP's defining property: interruption-transparent execution."""
+
+    def test_snapshot_restore_round_trip(self):
+        m = _mcu("MOV A, #7\nMOV R3, #9\nHALT")
+        m.step()
+        state = m.snapshot()
+        m.run()
+        fresh = _mcu("MOV A, #7\nMOV R3, #9\nHALT")
+        fresh.restore(state)
+        assert fresh.acc == 7
+        assert fresh.pc == 1
+        fresh.run()
+        assert fresh.registers[3] == 9
+
+    def test_interrupted_equals_uninterrupted(self):
+        rng = np.random.default_rng(5)
+        a, b = rng.integers(0, 256, 12), rng.integers(0, 256, 12)
+
+        golden = MCU8051(P.vector_add_program(12))
+        golden.load_xram(P.INPUT_A, a)
+        golden.load_xram(P.INPUT_B, b)
+        golden.run()
+
+        intermittent = MCU8051(P.vector_add_program(12))
+        intermittent.load_xram(P.INPUT_A, a)
+        intermittent.load_xram(P.INPUT_B, b)
+        while not intermittent.halted:
+            intermittent.run(max_cycles=120)  # a few instructions...
+            state = intermittent.snapshot()   # ...then a power failure
+            intermittent = MCU8051(P.vector_add_program(12))
+            intermittent.restore(state)
+
+        np.testing.assert_array_equal(
+            intermittent.read_xram(P.OUTPUT, 12), golden.read_xram(P.OUTPUT, 12)
+        )
+        assert intermittent.cycles == golden.cycles
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=400), min_size=1, max_size=30),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_any_interruption_schedule_is_transparent(self, bursts, data_seed):
+        """Hypothesis: every power-interruption schedule yields the
+        exact uninterrupted machine state (Section 1's persistence
+        guarantee)."""
+        rng = np.random.default_rng(data_seed)
+        data = rng.integers(0, 256, 10)
+
+        golden = MCU8051(P.threshold_count_program(10, 90))
+        golden.load_xram(P.INPUT_A, data)
+        golden.run()
+
+        machine = MCU8051(P.threshold_count_program(10, 90))
+        machine.load_xram(P.INPUT_A, data)
+        for burst in bursts:
+            machine.run(max_cycles=burst)
+            if machine.halted:
+                break
+            restored = MCU8051(P.threshold_count_program(10, 90))
+            restored.restore(machine.snapshot())
+            machine = restored
+        machine.run()  # finish whatever remains
+
+        assert machine.read_xram(P.OUTPUT, 1)[0] == golden.read_xram(P.OUTPUT, 1)[0]
+        assert machine.register_dump() == golden.register_dump()
+
+
+class TestStackAndSubroutines:
+    def test_direct_ram_moves(self):
+        m = _mcu("MOV 64, #42\nMOV A, 64\nMOV 65, A\nHALT")
+        m.run()
+        assert m.iram[64] == 42
+        assert m.iram[65] == 42
+
+    def test_push_pop(self):
+        m = _mcu("MOV A, #7\nPUSH A\nMOV A, #0\nPOP A\nHALT")
+        m.run()
+        assert m.acc == 7
+        assert m.sp == 7  # balanced stack
+
+    def test_acall_ret(self):
+        m = _mcu(
+            """
+            ACALL sub
+            MOV R1, #1
+            HALT
+        sub:
+            MOV R0, #9
+            RET
+            """
+        )
+        m.run()
+        assert m.registers[0] == 9
+        assert m.registers[1] == 1  # returned to the caller
+
+    def test_nested_calls(self):
+        m = _mcu(
+            """
+            ACALL outer
+            HALT
+        outer:
+            ACALL inner
+            INC R0
+            RET
+        inner:
+            MOV R0, #5
+            RET
+            """
+        )
+        m.run()
+        assert m.registers[0] == 6
+
+    def test_sad_program_matches_golden(self):
+        rng = np.random.default_rng(6)
+        a, b = rng.integers(0, 256, 40), rng.integers(0, 256, 40)
+        m = MCU8051(P.sad_program(40))
+        m.load_xram(P.INPUT_A, a)
+        m.load_xram(P.INPUT_B, b)
+        assert m.run().halted
+        lo, hi = m.read_xram(P.OUTPUT, 2)
+        assert int(lo) + (int(hi) << 8) == P.golden_sad(a, b)
+
+    def test_stack_survives_checkpointing(self):
+        """Interrupting inside a subroutine must preserve the stack."""
+        rng = np.random.default_rng(7)
+        a, b = rng.integers(0, 256, 12), rng.integers(0, 256, 12)
+
+        golden = MCU8051(P.sad_program(12))
+        golden.load_xram(P.INPUT_A, a)
+        golden.load_xram(P.INPUT_B, b)
+        golden.run()
+
+        machine = MCU8051(P.sad_program(12))
+        machine.load_xram(P.INPUT_A, a)
+        machine.load_xram(P.INPUT_B, b)
+        while not machine.halted:
+            machine.run(max_cycles=60)  # often mid-ACALL
+            restored = MCU8051(P.sad_program(12))
+            restored.restore(machine.snapshot())
+            machine = restored
+        assert machine.read_xram(P.OUTPUT, 2).tolist() == golden.read_xram(
+            P.OUTPUT, 2
+        ).tolist()
+
+    def test_direct_address_out_of_range_rejected(self):
+        from repro.nvp.asm import assemble
+
+        with pytest.raises(ProcessorError):
+            assemble("MOV A, 300")

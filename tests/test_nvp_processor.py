@@ -1,0 +1,97 @@
+"""Tests for the behavioral nonvolatile processor."""
+
+import pytest
+
+from repro.errors import ProcessorError
+from repro.nvm.retention import LinearRetention
+from repro.nvp.isa import KERNEL_MIXES
+from repro.nvp.processor import NonvolatileProcessor
+
+
+@pytest.fixture()
+def proc():
+    return NonvolatileProcessor()
+
+
+class TestExecution:
+    def test_single_tick_progress(self, proc):
+        executed = proc.execute_tick([8])
+        assert executed > 0
+        assert proc.forward_progress == executed
+        assert proc.incidental_progress == 0
+
+    def test_simd_lanes_credit_incidental_progress(self, proc):
+        proc.execute_tick([8, 2, 2])
+        assert proc.forward_progress > 0
+        assert proc.incidental_progress == 2 * proc.forward_progress
+        assert proc.total_progress == 3 * proc.forward_progress
+
+    def test_throughput_matches_mix(self, proc):
+        for _ in range(100):
+            proc.execute_tick([8])
+        expected = int(100 * 100 / proc.mix.mean_cycles)
+        assert abs(proc.forward_progress - expected) <= 1
+
+    def test_fractional_instruction_carry(self, proc):
+        """Multi-cycle instructions straddling ticks are not lost."""
+        singles = [proc.execute_tick([8]) for _ in range(50)]
+        assert len(set(singles)) >= 2  # both floor and floor+1 appear
+
+    def test_energy_accumulates(self, proc):
+        proc.execute_tick([8])
+        one_tick = proc.run_energy_uj
+        proc.execute_tick([8])
+        assert proc.run_energy_uj == pytest.approx(2 * one_tick)
+
+    def test_mix_scales_energy(self):
+        light = NonvolatileProcessor(mix=KERNEL_MIXES["tiff2bw"])
+        heavy = NonvolatileProcessor(mix=KERNEL_MIXES["fft"])
+        light.execute_tick([8])
+        heavy.execute_tick([8])
+        assert heavy.run_energy_uj > light.run_energy_uj
+
+    def test_lane_bounds(self, proc):
+        with pytest.raises(ProcessorError):
+            proc.execute_tick([])
+        with pytest.raises(ProcessorError):
+            proc.execute_tick([8, 8, 8, 8, 8])
+        with pytest.raises(ProcessorError):
+            proc.execute_tick([9])
+
+    def test_max_simd_width_enforced(self):
+        narrow = NonvolatileProcessor(max_simd_width=2)
+        with pytest.raises(ProcessorError):
+            narrow.execute_tick([8, 8, 8])
+
+
+class TestPersistence:
+    def test_backup_recorded(self, proc):
+        energy = proc.backup(5, [8])
+        assert energy > 0
+        assert proc.backup_count == 1
+
+    def test_restore_recorded(self, proc):
+        energy = proc.restore([8])
+        assert energy > 0
+        assert proc.backup_engine.restore_count == 1
+
+    def test_policy_lowers_backup_cost(self):
+        precise = NonvolatileProcessor()
+        shaped = NonvolatileProcessor(policy=LinearRetention())
+        assert shaped.backup_energy_uj([8]) < precise.backup_energy_uj([8])
+
+    def test_power_query_consistent_with_model(self, proc):
+        assert proc.run_power_uw([8]) == pytest.approx(209.0)
+
+
+class TestReset:
+    def test_reset_clears_everything(self, proc):
+        proc.execute_tick([8, 4])
+        proc.backup(1, [8])
+        proc.restore([8])
+        proc.reset_counters()
+        assert proc.total_progress == 0
+        assert proc.backup_count == 0
+        assert proc.backup_engine.restore_count == 0
+        assert proc.run_energy_uj == 0.0
+        assert proc.pc == 0

@@ -1,0 +1,135 @@
+"""Tests for the multi-version power-gated register file."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProcessorError
+from repro.nvp.registers import MultiVersionRegisterFile
+
+
+@pytest.fixture()
+def rf():
+    return MultiVersionRegisterFile(n_regs=8, word_bits=8, versions=4)
+
+
+class TestPowerGating:
+    def test_current_bank_always_on(self, rf):
+        assert not rf.is_gated(0)
+
+    def test_extensions_gated_by_default(self, rf):
+        """Section 4: 'these extensions can be powered off'."""
+        for version in (1, 2, 3):
+            assert rf.is_gated(version)
+        assert rf.active_version_count == 1
+
+    def test_power_on_off_cycle(self, rf):
+        rf.power_on_version(2)
+        assert not rf.is_gated(2)
+        assert rf.active_version_count == 2
+        rf.power_off_version(2)
+        assert rf.is_gated(2)
+
+    def test_cannot_gate_current_bank(self, rf):
+        with pytest.raises(ProcessorError):
+            rf.power_off_version(0)
+
+    def test_write_to_gated_bank_rejected(self, rf):
+        with pytest.raises(ProcessorError):
+            rf.write(1, 0, 42)
+
+    def test_contents_persist_across_gating(self, rf):
+        """NV logic: gating a bank does not lose its values."""
+        rf.power_on_version(1)
+        rf.write(1, 3, 77)
+        rf.power_off_version(1)
+        rf.power_on_version(1)
+        assert rf.read(1, 3) == 77
+
+
+class TestValuesAndAcBits:
+    def test_write_read(self, rf):
+        rf.write(0, 5, 123)
+        assert rf.read(0, 5) == 123
+
+    def test_values_masked_to_word(self, rf):
+        rf.write(0, 0, 0x1FF)
+        assert rf.read(0, 0) == 0xFF
+
+    def test_bank_round_trip(self, rf):
+        bank = np.arange(8)
+        rf.write_bank(0, bank)
+        np.testing.assert_array_equal(rf.read_bank(0), bank)
+
+    def test_bank_shape_checked(self, rf):
+        with pytest.raises(ProcessorError):
+            rf.write_bank(0, np.arange(4))
+
+    def test_ac_bits(self, rf):
+        assert not rf.ac_bit(2)
+        rf.set_ac_bit(2, True)
+        assert rf.ac_bit(2)
+
+    def test_register_bounds(self, rf):
+        with pytest.raises(ProcessorError):
+            rf.read(0, 8)
+
+
+class TestComparisonCircuits:
+    def test_full_match(self, rf):
+        rf.write_bank(0, np.arange(8))
+        rf.power_on_version(1)
+        rf.write_bank(1, np.arange(8))
+        assert rf.matches_current(1)
+
+    def test_mismatch_detected(self, rf):
+        rf.write_bank(0, np.arange(8))
+        rf.power_on_version(1)
+        bank = np.arange(8)
+        bank[3] = 99
+        rf.write_bank(1, bank)
+        vector = rf.compare_with_current(1)
+        assert not vector[3]
+        assert vector.sum() == 7
+
+    def test_mask_restricts_to_key_variables(self, rf):
+        """Only the compiler-masked loop variables must agree."""
+        rf.write_bank(0, np.arange(8))
+        rf.power_on_version(1)
+        bank = np.arange(8)
+        bank[5] = 99  # differs, but is not a key variable
+        rf.write_bank(1, bank)
+        mask = np.zeros(8, dtype=bool)
+        mask[0] = mask[1] = True
+        assert rf.matches_current(1, mask=mask)
+
+    def test_mask_shape_checked(self, rf):
+        with pytest.raises(ProcessorError):
+            rf.compare_with_current(1, mask=np.zeros(3, dtype=bool))
+
+    def test_cannot_compare_version_zero(self, rf):
+        with pytest.raises(ProcessorError):
+            rf.compare_with_current(0)
+
+
+class TestStateAndSnapshot:
+    def test_state_bits_grow_with_active_versions(self, rf):
+        base = rf.state_bits()
+        rf.power_on_version(1)
+        assert rf.state_bits() > base
+
+    def test_snapshot_restore_round_trip(self, rf):
+        rf.write_bank(0, np.arange(8))
+        rf.set_ac_bit(1, True)
+        rf.power_on_version(2)
+        snapshot = rf.snapshot()
+
+        other = MultiVersionRegisterFile(n_regs=8, word_bits=8, versions=4)
+        other.restore(*snapshot)
+        np.testing.assert_array_equal(other.read_bank(0), np.arange(8))
+        assert other.ac_bit(1)
+        assert not other.is_gated(2)
+
+    def test_restore_shape_checked(self, rf):
+        values, ac, gated = rf.snapshot()
+        with pytest.raises(ProcessorError):
+            rf.restore(values[:, :4], ac, gated)

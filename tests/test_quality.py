@@ -1,0 +1,163 @@
+"""Tests for quality metrics and the Table 2 QoS machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import QualityError
+from repro.quality.metrics import PSNR_CAP_DB, mse, psnr, size_ratio
+from repro.quality.qos import TABLE2_POLICIES, QoSTarget, TunedPolicy, evaluate_qos
+
+
+class TestMSE:
+    def test_identical_images(self):
+        image = np.arange(16).reshape(4, 4)
+        assert mse(image, image) == 0.0
+
+    def test_known_value(self):
+        a = np.zeros((2, 2))
+        b = np.full((2, 2), 2.0)
+        assert mse(a, b) == pytest.approx(4.0)
+
+    def test_symmetric(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 256, (8, 8))
+        b = rng.integers(0, 256, (8, 8))
+        assert mse(a, b) == pytest.approx(mse(b, a))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(QualityError):
+            mse(np.zeros((2, 2)), np.zeros((3, 3)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(QualityError):
+            mse(np.zeros((0,)), np.zeros((0,)))
+
+
+class TestPSNR:
+    def test_identical_capped(self):
+        image = np.arange(16).reshape(4, 4)
+        assert psnr(image, image) == PSNR_CAP_DB
+
+    def test_known_value(self):
+        a = np.zeros((4, 4))
+        b = np.full((4, 4), 255.0)
+        assert psnr(a, b) == pytest.approx(0.0)
+
+    def test_monotone_in_error(self):
+        base = np.full((8, 8), 100.0)
+        small = psnr(base, base + 1)
+        large = psnr(base, base + 10)
+        assert small > large
+
+    def test_peak_validated(self):
+        with pytest.raises(QualityError):
+            psnr(np.zeros((2, 2)), np.zeros((2, 2)), peak=0.0)
+
+    @given(
+        arrays(np.int64, (4, 4), elements=st.integers(min_value=0, max_value=255)),
+        arrays(np.int64, (4, 4), elements=st.integers(min_value=0, max_value=255)),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_psnr_mse_consistency(self, a, b):
+        error = mse(a, b)
+        quality = psnr(a, b)
+        if error > 0:
+            assert quality == pytest.approx(10 * np.log10(255**2 / error), abs=1e-6)
+
+
+class TestSizeRatio:
+    def test_equal_sizes(self):
+        assert size_ratio(1000, 1000) == 1.0
+
+    def test_larger_candidate(self):
+        assert size_ratio(1000, 1500) == pytest.approx(1.5)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(QualityError):
+            size_ratio(0, 100)
+        with pytest.raises(QualityError):
+            size_ratio(100, 0)
+
+
+class TestQoSTarget:
+    def test_psnr_target(self):
+        target = QoSTarget(min_psnr_db=20.0)
+        assert target.met_by_psnr(25.0)
+        assert not target.met_by_psnr(15.0)
+        assert target.describe() == "PSNR 20dB"
+
+    def test_size_target(self):
+        target = QoSTarget(max_size_ratio=1.5)
+        assert target.met_by_size_ratio(1.2)
+        assert not target.met_by_size_ratio(1.6)
+        assert target.describe() == "150% Size"
+
+    def test_exactly_one_kind(self):
+        with pytest.raises(QualityError):
+            QoSTarget()
+        with pytest.raises(QualityError):
+            QoSTarget(min_psnr_db=20.0, max_size_ratio=1.5)
+
+    def test_wrong_kind_query_rejected(self):
+        with pytest.raises(QualityError):
+            QoSTarget(min_psnr_db=20.0).met_by_size_ratio(1.2)
+        with pytest.raises(QualityError):
+            QoSTarget(max_size_ratio=1.5).met_by_psnr(30.0)
+
+    def test_size_ceiling_sanity(self):
+        with pytest.raises(QualityError):
+            QoSTarget(max_size_ratio=0.8)
+
+
+class TestTable2:
+    def test_all_four_rows_present(self):
+        assert set(TABLE2_POLICIES) == {"integral", "median", "sobel", "jpeg_encode"}
+
+    def test_paper_values(self):
+        median = TABLE2_POLICIES["median"]
+        assert median.target.min_psnr_db == 50.0
+        assert median.minbits == 4
+        assert median.recompute_passes == 2
+        assert median.backup_policy == "linear"
+
+        jpeg = TABLE2_POLICIES["jpeg_encode"]
+        assert jpeg.target.max_size_ratio == 1.5
+        assert jpeg.minbits == 3
+        assert jpeg.backup_policy == "log"
+
+        integral = TABLE2_POLICIES["integral"]
+        assert integral.backup_policy == "parabola"
+        assert integral.minbits == 2
+
+    def test_evaluate_qos_routing(self):
+        median = TABLE2_POLICIES["median"]
+        assert evaluate_qos(median, psnr_db=55.0)
+        assert not evaluate_qos(median, psnr_db=45.0)
+        with pytest.raises(QualityError):
+            evaluate_qos(median, size_ratio_value=1.0)
+
+        jpeg = TABLE2_POLICIES["jpeg_encode"]
+        assert evaluate_qos(jpeg, size_ratio_value=1.2)
+        with pytest.raises(QualityError):
+            evaluate_qos(jpeg, psnr_db=30.0)
+
+    def test_tuned_policy_validation(self):
+        with pytest.raises(QualityError):
+            TunedPolicy(
+                kernel="x",
+                target=QoSTarget(min_psnr_db=10.0),
+                minbits=9,
+                recompute_passes=0,
+                backup_policy="linear",
+            )
+        with pytest.raises(QualityError):
+            TunedPolicy(
+                kernel="x",
+                target=QoSTarget(min_psnr_db=10.0),
+                minbits=4,
+                recompute_passes=0,
+                backup_policy="cubic",
+            )

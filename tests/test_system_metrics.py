@@ -1,0 +1,88 @@
+"""Tests for SimulationResult metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.system.metrics import SimulationResult
+
+
+def _result(**overrides):
+    n = overrides.pop("total_ticks", 10)
+    defaults = dict(
+        total_ticks=n,
+        forward_progress=100,
+        incidental_progress=40,
+        backup_count=2,
+        restore_count=2,
+        on_ticks=5,
+        income_energy_uj=10.0,
+        converted_energy_uj=8.0,
+        run_energy_uj=5.0,
+        backup_energy_uj=2.0,
+        restore_energy_uj=0.5,
+        bit_schedule=np.array([0, 0, 8, 8, 4, 0, 2, 0, 0, 0][:n]),
+        lane_schedule=np.array([0, 0, 1, 2, 1, 0, 1, 0, 0, 0][:n]),
+    )
+    defaults.update(overrides)
+    return SimulationResult(**defaults)
+
+
+class TestDerivedMetrics:
+    def test_total_progress(self):
+        assert _result().total_progress == 140
+
+    def test_system_on_fraction(self):
+        assert _result().system_on_fraction == pytest.approx(0.5)
+
+    def test_backup_energy_share(self):
+        assert _result().backup_energy_share == pytest.approx(0.25)
+
+    def test_backup_share_zero_income(self):
+        result = _result(converted_energy_uj=0.0)
+        assert result.backup_energy_share == 0.0
+
+    def test_describe_mentions_key_numbers(self):
+        text = _result().describe()
+        assert "FP=100" in text
+        assert "backups=2" in text
+
+
+class TestBitUtilisation:
+    def test_distribution_sums_to_one(self):
+        util = _result().bit_utilization()
+        assert sum(util.values()) == pytest.approx(1.0)
+
+    def test_off_level(self):
+        util = _result().bit_utilization()
+        assert util[0] == pytest.approx(0.6)
+        assert util[8] == pytest.approx(0.2)
+
+    def test_mean_active_bits(self):
+        assert _result().mean_active_bits() == pytest.approx((8 + 8 + 4 + 2) / 4)
+
+    def test_mean_active_bits_when_never_on(self):
+        result = _result(
+            bit_schedule=np.zeros(10, dtype=int),
+            lane_schedule=np.zeros(10, dtype=int),
+            on_ticks=0,
+        )
+        assert result.mean_active_bits() == 0.0
+
+    def test_active_series_preserves_order(self):
+        series = _result().active_bit_series()
+        assert series.tolist() == [8, 8, 4, 2]
+
+
+class TestValidation:
+    def test_schedule_length_checked(self):
+        with pytest.raises(SimulationError):
+            _result(bit_schedule=np.zeros(3))
+
+    def test_positive_ticks(self):
+        with pytest.raises(SimulationError):
+            _result(
+                total_ticks=0,
+                bit_schedule=np.zeros(0),
+                lane_schedule=np.zeros(0),
+            )

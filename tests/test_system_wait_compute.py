@@ -1,0 +1,93 @@
+"""Tests for the wait-compute baseline (Section 2.2)."""
+
+import numpy as np
+import pytest
+
+from repro.energy.capacitor import StorageCapacitor
+from repro.energy.traces import PowerTrace
+from repro.system.wait_compute import WaitComputeSimulator
+
+
+class TestSizing:
+    def test_unit_energy_includes_init(self):
+        with_init = WaitComputeSimulator(5_000, init_instructions=4_000)
+        without = WaitComputeSimulator(5_000, init_instructions=0)
+        assert with_init.unit_energy_uj > without.unit_energy_uj
+
+    def test_storage_must_hold_a_unit(self):
+        with pytest.raises(ValueError):
+            WaitComputeSimulator(
+                50_000, storage=StorageCapacitor(capacity_uj=1.0)
+            )
+
+    def test_default_storage_sized_to_unit(self):
+        sim = WaitComputeSimulator(5_000)
+        assert sim.storage.capacity_uj >= sim.unit_energy_uj
+
+    def test_throughput_positive(self):
+        sim = WaitComputeSimulator(5_000)
+        assert sim.instructions_per_tick > 0
+        assert sim.unit_ticks > 0
+
+
+class TestExecution:
+    def test_strong_power_completes_units(self):
+        sim = WaitComputeSimulator(2_000, init_instructions=0)
+        trace = PowerTrace(np.full(30_000, 1000.0))
+        result = sim.run(trace)
+        assert result.units_completed > 0
+        assert result.forward_progress == result.units_completed * 2_000
+
+    def test_dead_trace_completes_nothing(self):
+        sim = WaitComputeSimulator(2_000)
+        result = sim.run(PowerTrace(np.zeros(5_000)))
+        assert result.units_completed == 0
+        assert result.charging_ticks == 5_000
+
+    def test_income_below_min_charging_never_starts(self):
+        sim = WaitComputeSimulator(2_000)
+        # 15 uW raw -> ~9 uW converted: below the ESD minimum current.
+        result = sim.run(PowerTrace(np.full(20_000, 15.0)))
+        assert result.units_completed == 0
+
+    def test_mean_ticks_per_unit(self):
+        sim = WaitComputeSimulator(2_000, init_instructions=0)
+        trace = PowerTrace(np.full(30_000, 1000.0))
+        result = sim.run(trace)
+        assert result.mean_ticks_per_unit == pytest.approx(
+            30_000 / result.units_completed
+        )
+
+    def test_mean_ticks_infinite_when_no_units(self):
+        sim = WaitComputeSimulator(2_000)
+        result = sim.run(PowerTrace(np.zeros(100)))
+        assert result.mean_ticks_per_unit == float("inf")
+
+
+class TestParadigmComparison:
+    def test_nvp_beats_wait_compute(self, trace1):
+        """Section 2.2: the NVP paradigm outperforms wait-compute."""
+        from repro.system.simulator import simulate_fixed_bits
+
+        unit = 3_000
+        wait = WaitComputeSimulator(unit).run(trace1)
+        nvp = simulate_fixed_bits(trace1, 8)
+        nvp_units = nvp.forward_progress / unit
+        assert nvp_units > wait.units_completed
+
+    def test_efficiency_penalties_bite(self, trace1):
+        """Removing the ESD pathologies must help wait-compute."""
+        unit = 3_000
+        lossy = WaitComputeSimulator(unit).run(trace1)
+        ideal_storage = StorageCapacitor(
+            capacity_uj=100.0,
+            min_charging_power_uw=0.0,
+            charging_efficiency=1.0,
+            topoff_efficiency=1.0,
+            leakage_floor_uw=0.0,
+            leakage_fraction_per_s=0.0,
+        )
+        ideal = WaitComputeSimulator(
+            unit, storage=ideal_storage, init_instructions=0
+        ).run(trace1)
+        assert ideal.units_completed > lossy.units_completed

@@ -1,0 +1,133 @@
+"""Tests for the shared argument validators."""
+
+import numpy as np
+import pytest
+
+from repro._validation import (
+    as_float_array,
+    check_choice,
+    check_in_range,
+    check_int_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    require,
+)
+from repro.errors import ConfigurationError, TraceError
+
+
+class TestRequire:
+    def test_passes_when_true(self):
+        require(True, "never raised")
+
+    def test_raises_when_false(self):
+        with pytest.raises(ConfigurationError, match="broken"):
+            require(False, "broken")
+
+    def test_custom_exception(self):
+        with pytest.raises(TraceError):
+            require(False, "trace broken", exc=TraceError)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(2.5, "x") == 2.5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            check_positive(0.0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            check_positive(-1.0, "x")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ConfigurationError):
+            check_positive(float("nan"), "x")
+
+    def test_rejects_inf(self):
+        with pytest.raises(ConfigurationError):
+            check_positive(float("inf"), "x")
+
+    def test_message_contains_name(self):
+        with pytest.raises(ConfigurationError, match="capacity"):
+            check_positive(-1, "capacity")
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative(0.0, "x") == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            check_non_negative(-0.001, "x")
+
+
+class TestCheckInRange:
+    def test_accepts_bounds(self):
+        assert check_in_range(0.0, "x", 0.0, 1.0) == 0.0
+        assert check_in_range(1.0, "x", 0.0, 1.0) == 1.0
+
+    def test_rejects_outside(self):
+        with pytest.raises(ConfigurationError):
+            check_in_range(1.01, "x", 0.0, 1.0)
+
+
+class TestCheckIntInRange:
+    def test_accepts_int(self):
+        assert check_int_in_range(3, "x", 1, 8) == 3
+
+    def test_accepts_numpy_int(self):
+        assert check_int_in_range(np.int64(3), "x", 1, 8) == 3
+
+    def test_rejects_bool(self):
+        with pytest.raises(ConfigurationError):
+            check_int_in_range(True, "x", 0, 8)
+
+    def test_rejects_float(self):
+        with pytest.raises(ConfigurationError):
+            check_int_in_range(3.0, "x", 1, 8)
+
+    def test_rejects_below(self):
+        with pytest.raises(ConfigurationError):
+            check_int_in_range(0, "x", 1, 8)
+
+    def test_rejects_above(self):
+        with pytest.raises(ConfigurationError):
+            check_int_in_range(9, "x", 1, 8)
+
+    def test_open_upper_bound(self):
+        assert check_int_in_range(10**9, "x", 1) == 10**9
+
+
+class TestCheckProbability:
+    def test_accepts_unit_interval(self):
+        assert check_probability(0.5, "p") == 0.5
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ConfigurationError):
+            check_probability(1.5, "p")
+
+
+class TestCheckChoice:
+    def test_accepts_member(self):
+        assert check_choice("a", "x", ("a", "b")) == "a"
+
+    def test_rejects_nonmember(self):
+        with pytest.raises(ConfigurationError, match="must be one of"):
+            check_choice("c", "x", ("a", "b"))
+
+
+class TestAsFloatArray:
+    def test_converts_list(self):
+        out = as_float_array([1, 2, 3], "x")
+        assert out.dtype == np.float64
+        assert out.tolist() == [1.0, 2.0, 3.0]
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(ConfigurationError):
+            as_float_array([[1.0]], "x", ndim=1)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ConfigurationError):
+            as_float_array([1.0, float("nan")], "x")
