@@ -7,11 +7,32 @@ microbenchmarks), prints the regenerated table, and archives it under
 ``benchmarks/results/`` so EXPERIMENTS.md can be audited against a run.
 """
 
+import os
 import pathlib
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _engine_config():
+    """Route benchmark runs through the experiment engine.
+
+    ``REPRO_BENCH_WORKERS`` / ``REPRO_BENCH_CACHE_DIR`` parallelise and
+    warm-cache artifact regeneration without touching the benchmarks
+    themselves (e.g. ``REPRO_BENCH_WORKERS=4 pytest benchmarks/``).
+    """
+    from repro.analysis import engine
+
+    workers = os.environ.get("REPRO_BENCH_WORKERS")
+    cache_dir = os.environ.get("REPRO_BENCH_CACHE_DIR")
+    engine.configure(
+        workers=int(workers) if workers else None,
+        cache_dir=cache_dir if cache_dir else None,
+    )
+    yield
+    engine.reset()
 
 
 @pytest.fixture()

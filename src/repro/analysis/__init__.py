@@ -6,12 +6,27 @@ EXPERIMENTS.md records. See DESIGN.md's experiment index for the
 mapping.
 """
 
-from . import experiments
+from . import engine, experiments
+from .engine import (
+    FixedBitTask,
+    GridResult,
+    GridSpec,
+    ResultCache,
+    run_grid,
+    simulation_results_equal,
+)
 from .reporting import format_table, format_series
 from .sweeps import QoSFrontier, SweepPoint, qos_frontier
 
 __all__ = [
+    "engine",
     "experiments",
+    "FixedBitTask",
+    "GridSpec",
+    "GridResult",
+    "ResultCache",
+    "run_grid",
+    "simulation_results_equal",
     "format_table",
     "format_series",
     "QoSFrontier",

@@ -26,7 +26,7 @@ from ..core.pragmas import IncidentalPragma, RecoverFromPragma
 from ..core.program import AnnotatedProgram
 from ..core.recompute import RecomputeAndCombine, schedule_from_trace
 from ..energy.outages import outage_statistics
-from ..energy.traces import TICK_S, PowerTrace, standard_profile
+from ..energy.traces import TICK_S, PowerTrace
 from ..kernels import (
     ApproxContext,
     JPEGEncodeKernel,
@@ -40,7 +40,6 @@ from ..nvm.retention import (
     LinearRetention,
     LogRetention,
     ParabolaRetention,
-    RetentionPolicy,
     STANDARD_POLICY_NAMES,
     policy_by_name,
 )
@@ -52,6 +51,7 @@ from ..quality.qos import TABLE2_POLICIES, evaluate_qos
 from ..system.config import SystemConfig
 from ..system.simulator import FixedBitAllocator, NVPSystemSimulator, simulate_fixed_bits
 from ..system.wait_compute import WaitComputeSimulator
+from . import engine
 from .reporting import format_table
 
 __all__ = ["ExperimentResult"]
@@ -82,22 +82,28 @@ class ExperimentResult:
 
 
 # -- shared, cached building blocks -------------------------------------------
+#
+# All fixed-bit simulation and trace reuse is delegated to
+# ``repro.analysis.engine`` (in-process memo + optional on-disk result
+# cache). The engine hands out defensive copies, so — unlike the
+# ``lru_cache`` layers this replaced — a runner mutating a result's
+# arrays cannot poison later experiments.
 
 
-@lru_cache(maxsize=32)
 def _trace(profile_id: int, duration_s: float) -> PowerTrace:
-    return standard_profile(profile_id, duration_s=duration_s)
+    return engine.trace_for(profile_id, duration_s)
 
 
-@lru_cache(maxsize=256)
 def _fixed_run(profile_id: int, duration_s: float, bits: int, policy_name: str, kernel: str):
-    """Cached fixed-bit system simulation."""
-    policy: Optional[RetentionPolicy] = None
-    if policy_name != "precise":
-        policy = policy_by_name(policy_name)
-    mix = kernel_mix(kernel)
-    return simulate_fixed_bits(
-        _trace(profile_id, duration_s), bits, policy=policy, mix=mix
+    """Cached fixed-bit system simulation (returns a fresh copy)."""
+    return engine.cached_fixed_run(
+        engine.FixedBitTask(
+            profile_id=profile_id,
+            bits=bits,
+            duration_s=duration_s,
+            policy=policy_name,
+            kernel=kernel,
+        )
     )
 
 
@@ -386,14 +392,19 @@ def fig15_forward_progress(
     duration_s: float = 10.0,
 ) -> ExperimentResult:
     """Figure 15: forward progress as ALU+memory bits shrink."""
+    grid = engine.run_grid(
+        engine.GridSpec(
+            profile_ids=tuple(profile_ids),
+            bits=tuple(bits_list),
+            kernels=("median",),
+            duration_s=duration_s,
+        )
+    )
     rows = []
-    data: Dict[int, Dict[int, int]] = {}
-    for pid in profile_ids:
-        data[pid] = {}
-        for bits in bits_list:
-            sim = _fixed_run(pid, duration_s, bits, "precise", "median")
-            data[pid][bits] = sim.forward_progress
-            rows.append((pid, bits, sim.forward_progress))
+    data: Dict[int, Dict[int, int]] = {pid: {} for pid in profile_ids}
+    for task, sim in grid:
+        data[task.profile_id][task.bits] = sim.forward_progress
+        rows.append((task.profile_id, task.bits, sim.forward_progress))
     return ExperimentResult(
         experiment_id="fig15",
         description="forward progress vs reliable bits",
@@ -409,14 +420,19 @@ def fig16_backup_counts(
     duration_s: float = 10.0,
 ) -> ExperimentResult:
     """Figure 16: number of backups as bits shrink."""
+    grid = engine.run_grid(
+        engine.GridSpec(
+            profile_ids=tuple(profile_ids),
+            bits=tuple(bits_list),
+            kernels=("median",),
+            duration_s=duration_s,
+        )
+    )
     rows = []
-    data: Dict[int, Dict[int, int]] = {}
-    for pid in profile_ids:
-        data[pid] = {}
-        for bits in bits_list:
-            sim = _fixed_run(pid, duration_s, bits, "precise", "median")
-            data[pid][bits] = sim.backup_count
-            rows.append((pid, bits, sim.backup_count))
+    data: Dict[int, Dict[int, int]] = {pid: {} for pid in profile_ids}
+    for task, sim in grid:
+        data[task.profile_id][task.bits] = sim.backup_count
+        rows.append((task.profile_id, task.bits, sim.backup_count))
     return ExperimentResult(
         experiment_id="fig16",
         description="backup count vs reliable bits",
@@ -430,12 +446,25 @@ def fig16_backup_counts(
 
 
 @lru_cache(maxsize=64)
-def _dynamic_run(profile_id: int, duration_s: float, minbits: int, kernel: str):
+def _dynamic_run_pristine(profile_id: int, duration_s: float, minbits: int, kernel: str):
     trace = _trace(profile_id, duration_s)
     config = SystemConfig()
     allocator = DynamicBitAllocator(minbits, 8, capacity_uj=config.capacitor_uj)
     processor = NonvolatileProcessor(mix=kernel_mix(kernel))
     return NVPSystemSimulator(trace, processor, allocator, config=config).run()
+
+
+def _dynamic_run(profile_id: int, duration_s: float, minbits: int, kernel: str):
+    """Cached dynamic-bitwidth simulation (returns a fresh copy).
+
+    The ``lru_cache`` holds the pristine result; handing out a copy
+    prevents the aliasing hazard where a caller mutating
+    ``result.bit_schedule`` would silently corrupt every later
+    experiment sharing the cache entry.
+    """
+    return engine.copy_result(
+        _dynamic_run_pristine(profile_id, duration_s, minbits, kernel)
+    )
 
 
 def fig18_bit_utilization(

@@ -20,10 +20,9 @@ from ..energy.traces import PowerTrace
 from ..errors import ConfigurationError
 from ..kernels.base import Kernel
 from ..kernels.images import test_scene
-from ..kernels.registry import kernel_mix
-from ..nvm.retention import STANDARD_POLICY_NAMES, policy_by_name
+from ..nvm.retention import STANDARD_POLICY_NAMES
 from ..quality.qos import QoSTarget, TunedPolicy
-from ..system.simulator import simulate_fixed_bits
+from .engine import TraceTask, run_on_trace
 
 __all__ = ["SweepPoint", "QoSFrontier", "qos_frontier"]
 
@@ -86,6 +85,7 @@ def qos_frontier(
     policies: Sequence[str] = STANDARD_POLICY_NAMES,
     image_size: int = 64,
     seed: int = 9,
+    workers: Optional[int] = None,
 ) -> QoSFrontier:
     """Sweep the incidental design space for one kernel and QoS target.
 
@@ -93,10 +93,12 @@ def qos_frontier(
     ``minbits`` as the floor and merging ``recompute_passes`` extra
     passes (the full Section 8.5 pipeline); forward progress comes from
     the 8-bit system simulation under each backup policy.
+
+    ``workers`` fans the per-policy system simulations out over the
+    engine's process pool (``None`` uses the configured default).
     """
     target = QoSTarget(min_psnr_db=check_positive(target_psnr_db, "target_psnr_db"))
     image = test_scene(image_size, "mixed", seed=7)
-    mix = kernel_mix(kernel.name)
     # The frontier evaluates *deployment* configurations, so schedules
     # use the fine-tuned controller (aggressive surplus drawdown), like
     # the paper's Table 2 tuning.
@@ -106,12 +108,16 @@ def qos_frontier(
         comfort_fill=0.15, drawdown_horizon_ticks=12
     )
 
-    # FP depends only on the backup policy; compute once per policy.
+    # FP depends only on the backup policy; compute once per policy
+    # (in parallel when workers > 1 — the trace is caller-supplied, so
+    # these runs go through the engine's explicit-trace path).
+    policy_runs = run_on_trace(
+        trace,
+        [TraceTask(bits=8, policy=name, kernel=kernel.name) for name in policies],
+        workers=workers,
+    )
     fp_by_policy = {
-        name: simulate_fixed_bits(
-            trace, 8, policy=policy_by_name(name), mix=mix
-        ).forward_progress
-        for name in policies
+        name: run.forward_progress for name, run in zip(policies, policy_runs)
     }
 
     points: List[SweepPoint] = []

@@ -6,8 +6,14 @@ Usage (also via ``python -m repro``):
     repro-experiments run fig28            # regenerate one artifact
     repro-experiments run fig15 fig16      # several at once
     repro-experiments run all              # everything (minutes)
+    repro-experiments run all --workers 4  # ... across four processes
+    repro-experiments run fig15 --cache-dir .cache   # warm across runs
+    repro-experiments run fig15 --no-cache # force fresh simulations
     repro-experiments profiles             # Figure 2 trace summaries
     repro-experiments calibration          # the jointly-calibrated constants
+
+``--workers``/``--cache-dir``/``--no-cache`` configure the experiment
+engine (:mod:`repro.analysis.engine`) for the whole invocation.
 """
 
 from __future__ import annotations
@@ -16,8 +22,10 @@ import argparse
 import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
+from .analysis import engine
 from .analysis import experiments as E
 from .analysis.reporting import format_table
+from .errors import ConfigurationError
 
 __all__ = ["main", "EXPERIMENT_RUNNERS"]
 
@@ -138,6 +146,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     sub.add_parser("list", help="list every artifact id")
     run = sub.add_parser("run", help="regenerate artifacts")
     run.add_argument("artifacts", nargs="+", help="artifact ids, or 'all'")
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="processes for experiment grids (default: 1, serial)",
+    )
+    run.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="content-addressed on-disk result cache (reused across runs)",
+    )
+    run.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable result caching (in-memory and on-disk)",
+    )
     sub.add_parser("profiles", help="summarise the five power profiles")
     sub.add_parser("calibration", help="print the calibrated constants")
 
@@ -145,6 +171,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
+        try:
+            engine.configure(
+                workers=args.workers,
+                cache_dir=args.cache_dir,
+                use_cache=not args.no_cache,
+            )
+        except ConfigurationError as exc:
+            print(f"repro-experiments run: error: {exc}", file=sys.stderr)
+            return 2
         return _cmd_run(args.artifacts)
     if args.command == "profiles":
         return _cmd_profiles()

@@ -266,13 +266,30 @@ def simulate_fixed_bits(
     policy: Optional[RetentionPolicy] = None,
     mix: InstructionMix = DEFAULT_MIX,
     config: Optional[SystemConfig] = None,
+    engine: str = "auto",
 ) -> SimulationResult:
     """Convenience: simulate a fixed-bitwidth NVP over ``trace``.
 
     This is the workhorse behind Figures 15, 16 and 25: sweep ``bits``
     from 8 down to 1 (and ``policy`` across retention shapes) and
     compare forward progress and backup counts.
+
+    ``engine`` selects the implementation: ``"auto"``/``"fast"`` use
+    the bit-exact vectorized fast path of :mod:`repro.system.fastsim`
+    (the default — results are identical by contract, enforced by the
+    differential suite); ``"reference"`` forces the per-tick loop of
+    :class:`NVPSystemSimulator`.
     """
+    if engine not in ("auto", "fast", "reference"):
+        raise SimulationError(
+            f"engine must be 'auto', 'fast' or 'reference', got {engine!r}"
+        )
+    if engine != "reference":
+        from .fastsim import fast_fixed_run
+
+        return fast_fixed_run(
+            trace, bits, simd_width=simd_width, policy=policy, mix=mix, config=config
+        )
     processor = NonvolatileProcessor(policy=policy, mix=mix)
     allocator = FixedBitAllocator(bits, simd_width=simd_width)
     return NVPSystemSimulator(trace, processor, allocator, config=config).run()

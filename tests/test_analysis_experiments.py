@@ -234,3 +234,28 @@ class TestResultWrapper:
         text = result.as_table()
         assert text.startswith("[fig05]")
         assert "parabola" in text
+
+
+class TestCacheAliasing:
+    """Regression: cached runners must hand out defensive copies.
+
+    The old ``lru_cache`` layers returned one shared mutable
+    ``SimulationResult`` — any caller mutating its numpy arrays
+    silently poisoned every later experiment sharing the entry.
+    """
+
+    def test_fixed_run_is_not_aliased(self):
+        first = E._fixed_run(1, 0.4, 8, "precise", "median")
+        pristine = first.bit_schedule.copy()
+        first.bit_schedule[:] = 99
+        second = E._fixed_run(1, 0.4, 8, "precise", "median")
+        assert second.bit_schedule is not first.bit_schedule
+        assert np.array_equal(second.bit_schedule, pristine)
+
+    def test_dynamic_run_is_not_aliased(self):
+        first = E._dynamic_run(1, 0.4, 1, "median")
+        pristine = first.bit_schedule.copy()
+        first.bit_schedule[:] = 99
+        second = E._dynamic_run(1, 0.4, 1, "median")
+        assert second.bit_schedule is not first.bit_schedule
+        assert np.array_equal(second.bit_schedule, pristine)

@@ -2,6 +2,8 @@
 
 import pytest
 
+from repro.analysis import engine
+from repro.analysis import experiments as E
 from repro.cli import EXPERIMENT_RUNNERS, main
 
 
@@ -37,6 +39,62 @@ class TestRun:
     def test_unknown_artifact_fails_cleanly(self, capsys):
         assert main(["run", "fig99"]) == 2
         assert "unknown artifact" in capsys.readouterr().err
+
+
+class TestEngineFlags:
+    """--workers / --cache-dir / --no-cache wire into the engine."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_engine(self, monkeypatch):
+        # A short-trace fig16 so each CLI invocation stays fast; the
+        # real runner and the real engine path are still exercised.
+        monkeypatch.setitem(
+            EXPERIMENT_RUNNERS,
+            "fig16",
+            lambda: E.fig16_backup_counts(duration_s=0.4),
+        )
+        engine.reset()
+        yield
+        engine.reset()
+
+    def test_workers_flag_is_result_invariant(self, capsys):
+        assert main(["run", "fig16", "--no-cache"]) == 0
+        serial_out = capsys.readouterr().out
+        engine.reset()
+        assert main(["run", "fig16", "--workers", "4", "--no-cache"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert parallel_out == serial_out
+        assert engine.configured_workers() == 4
+
+    def test_cold_then_warm_cache(self, tmp_path, capsys):
+        cache_dir = tmp_path / "results-cache"
+        assert main(["run", "fig16", "--cache-dir", str(cache_dir)]) == 0
+        cold_out = capsys.readouterr().out
+        entries = list(cache_dir.glob("*.npz"))
+        assert entries, "cold run should populate the on-disk cache"
+
+        # New process simulation: drop the in-memory memo so the warm
+        # invocation must be served from disk.
+        engine.clear_memory_cache()
+        assert main(["run", "fig16", "--cache-dir", str(cache_dir)]) == 0
+        warm_out = capsys.readouterr().out
+        assert warm_out == cold_out
+        cache = engine.default_cache()
+        assert cache is not None and cache.hits >= len(entries)
+
+    def test_no_cache_skips_the_disk(self, tmp_path, capsys):
+        cache_dir = tmp_path / "unused-cache"
+        assert (
+            main(["run", "fig16", "--cache-dir", str(cache_dir), "--no-cache"])
+            == 0
+        )
+        assert capsys.readouterr().out
+        assert list(cache_dir.glob("*.npz")) == []
+
+    def test_rejects_invalid_workers(self, capsys):
+        assert main(["run", "fig16", "--workers", "0"]) == 2
+        err = capsys.readouterr().err
+        assert "workers must be in >= 1" in err
 
 
 class TestInfoCommands:
