@@ -21,9 +21,6 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..core.controller import DynamicBitAllocator, IncidentalAllocator
-from ..core.executive import IncidentalExecutive
-from ..core.pragmas import IncidentalPragma, RecoverFromPragma
-from ..core.program import AnnotatedProgram
 from ..core.recompute import RecomputeAndCombine, schedule_from_trace
 from ..energy.outages import outage_statistics
 from ..energy.traces import TICK_S, PowerTrace
@@ -104,16 +101,6 @@ def _fixed_run(profile_id: int, duration_s: float, bits: int, policy_name: str, 
             policy=policy_name,
             kernel=kernel,
         )
-    )
-
-
-def _standard_program(kernel_name: str, minbits: int, maxbits: int, policy: str) -> AnnotatedProgram:
-    return AnnotatedProgram(
-        create_kernel(kernel_name),
-        [
-            IncidentalPragma("src", minbits, maxbits, policy),
-            RecoverFromPragma("frame"),
-        ],
     )
 
 
@@ -591,6 +578,29 @@ def fig22_retention_failures(
 # -- Figures 23-25: backup/recovery approximation ------------------------------------------
 
 
+def _executive_task(
+    kernel_name: str,
+    policy: str,
+    profile_id: int,
+    duration_s: float,
+    minbits: int,
+    frame_size: int = 12,
+    frame_period_ticks: int = 15_000,
+    seed: int = 0,
+) -> engine.ExecutiveTask:
+    return engine.ExecutiveTask(
+        kernel=kernel_name,
+        policy=policy,
+        profile_id=profile_id,
+        minbits=minbits,
+        duration_s=duration_s,
+        frame_size=frame_size,
+        frame_period_ticks=frame_period_ticks,
+        retention_time_scale=RETENTION_TIME_SCALE,
+        seed=seed,
+    )
+
+
 def _executive_run(
     kernel_name: str,
     policy: str,
@@ -601,18 +611,12 @@ def _executive_run(
     frame_period_ticks: int = 15_000,
     seed: int = 0,
 ):
-    program = _standard_program(kernel_name, minbits, 8, policy)
-    trace = _trace(profile_id, duration_s)
-    n_frames = max(2, int(len(trace) / frame_period_ticks) + 1)
-    executive = IncidentalExecutive(
-        program,
-        trace,
-        frame_sequence(min(n_frames, 16), frame_size),
-        frame_period_ticks=frame_period_ticks,
-        retention_time_scale=RETENTION_TIME_SCALE,
-        seed=seed,
+    """Cached executive simulation (returns ``(task, fresh result)``)."""
+    task = _executive_task(
+        kernel_name, policy, profile_id, duration_s, minbits,
+        frame_size=frame_size, frame_period_ticks=frame_period_ticks, seed=seed,
     )
-    return executive, executive.run()
+    return task, engine.cached_executive_run(task)
 
 
 def fig24_quality_vs_policy(
@@ -623,11 +627,18 @@ def fig24_quality_vs_policy(
     """Figures 23-24: output quality under each retention policy."""
     rows = []
     data: Dict[str, Dict[int, Tuple[float, float]]] = {}
+    tasks = [
+        _executive_task(kernel, policy_name, pid, duration_s, minbits=4)
+        for policy_name in STANDARD_POLICY_NAMES
+        for pid in profile_ids
+    ]
+    grid = engine.run_executive_grid(tasks)
     for policy_name in STANDARD_POLICY_NAMES:
         data[policy_name] = {}
         for pid in profile_ids:
-            executive, result = _executive_run(kernel, policy_name, pid, duration_s, minbits=4)
-            scores = executive.frame_quality(result, min_coverage=0.999)
+            task = _executive_task(kernel, policy_name, pid, duration_s, minbits=4)
+            result = grid.result_for(task)
+            scores = engine.executive_frame_quality(task, result, min_coverage=0.999)
             if scores:
                 mean_mse = float(np.mean([s.mse for s in scores]))
                 mean_psnr = float(np.mean([s.psnr_db for s in scores]))
@@ -787,23 +798,24 @@ def fig28_overall_gain(
     stream, compared to a precise 8-bit NVP with the same instruction
     mix.
     """
-    rows = []
-    per_kernel: Dict[str, List[float]] = {}
-    for name in kernel_names:
+    def task_for(name: str, pid: int) -> engine.ExecutiveTask:
         tuned = TABLE2_POLICIES.get(name)
         minbits = tuned.minbits if tuned else 3
         backup = tuned.backup_policy if tuned else "linear"
+        return _executive_task(
+            name, backup, pid, duration_s, minbits=minbits,
+            frame_size=frame_size, frame_period_ticks=frame_period_ticks,
+        )
+
+    grid = engine.run_executive_grid(
+        [task_for(name, pid) for name in kernel_names for pid in profile_ids]
+    )
+    rows = []
+    per_kernel: Dict[str, List[float]] = {}
+    for name in kernel_names:
         gains = []
         for pid in profile_ids:
-            executive, result = _executive_run(
-                name,
-                backup,
-                pid,
-                duration_s,
-                minbits=minbits,
-                frame_size=frame_size,
-                frame_period_ticks=frame_period_ticks,
-            )
+            result = grid.result_for(task_for(name, pid))
             base = _fixed_run(pid, duration_s, 8, "precise", name)
             gains.append(result.useful_progress / max(1, base.forward_progress))
         per_kernel[name] = gains
@@ -892,18 +904,24 @@ def _ablation_executive(
     frame_size: int = 16,
     **executive_kwargs,
 ):
-    program = _standard_program("median", 2, 8, "linear")
-    trace = _trace(profile_id, duration_s)
+    """Cached ablation run (``(task, fresh result)``, median/linear)."""
     kwargs = dict(
         frame_period_ticks=2_500,
         retention_time_scale=RETENTION_TIME_SCALE,
         seed=0,
     )
     kwargs.update(executive_kwargs)
-    executive = IncidentalExecutive(
-        program, trace, frame_sequence(12, frame_size), **kwargs
+    task = engine.ExecutiveTask(
+        kernel="median",
+        policy="linear",
+        profile_id=profile_id,
+        minbits=2,
+        duration_s=duration_s,
+        frame_size=frame_size,
+        n_frames=12,
+        **kwargs,
     )
-    return executive, executive.run()
+    return task, engine.cached_executive_run(task)
 
 
 def ablation_mechanisms(
@@ -993,14 +1011,14 @@ def ablation_retention_scale(
     rows = []
     data = {}
     for scale in scales:
-        executive, result = _ablation_executive(
+        task, result = _ablation_executive(
             profile_id,
             duration_s,
             frame_size=12,
             frame_period_ticks=15_000,
             retention_time_scale=scale,
         )
-        scores = executive.frame_quality(result, min_coverage=0.999)
+        scores = engine.executive_frame_quality(task, result, min_coverage=0.999)
         mean_psnr = (
             float(np.mean([s.psnr_db for s in scores])) if scores else float("nan")
         )
@@ -1100,20 +1118,21 @@ def ablation_harvester_sources(
         ("thermal", ThermalHarvester()),
     ]
     n_samples = int(duration_s / TICK_S)
-    program = _standard_program("median", 2, 8, "linear")
+    task = engine.ExecutiveTraceTask(
+        kernel="median",
+        policy="linear",
+        minbits=2,
+        n_frames=12,
+        frame_size=16,
+        frame_period_ticks=2_500,
+        retention_time_scale=RETENTION_TIME_SCALE,
+    )
     rows = []
     gains = {}
     for name, model in sources:
         rng = np.random.default_rng(seed)
         trace = PowerTrace(model.generate(n_samples, rng), name=name)
-        executive = IncidentalExecutive(
-            program,
-            trace,
-            frame_sequence(12, 16),
-            frame_period_ticks=2_500,
-            retention_time_scale=RETENTION_TIME_SCALE,
-        )
-        result = executive.run()
+        (result,) = engine.run_executive_on_trace(trace, [task])
         baseline = simulate_fixed_bits(trace, 8, mix=kernel_mix("median"))
         gain = result.useful_progress / max(1, baseline.forward_progress)
         gains[name] = gain
@@ -1151,7 +1170,19 @@ def ablation_recover_placement(
     from ..energy.traces import PowerTrace
 
     n_samples = int(duration_s / TICK_S)
-    program = _standard_program("median", 2, 8, "linear")
+    placement_tasks = [
+        engine.ExecutiveTraceTask(
+            kernel="median",
+            policy="linear",
+            minbits=2,
+            n_frames=12,
+            frame_size=8,
+            frame_period_ticks=10_000,
+            retention_time_scale=RETENTION_TIME_SCALE,
+            recover_placement=placement,
+        )
+        for placement in ("frame", "inner")
+    ]
     sources = [
         # A steady indoor-light source with long on-stretches: power
         # interrupts are rare relative to a frame's processing time.
@@ -1165,16 +1196,9 @@ def ablation_recover_placement(
     for source_name, model in sources:
         rng = np.random.default_rng(seed)
         trace = PowerTrace(model.generate(n_samples, rng), name=source_name)
-        for placement in ("frame", "inner"):
-            executive = IncidentalExecutive(
-                program,
-                trace,
-                frame_sequence(12, 8),
-                frame_period_ticks=10_000,
-                retention_time_scale=RETENTION_TIME_SCALE,
-                recover_placement=placement,
-            )
-            result = executive.run()
+        results = engine.run_executive_on_trace(trace, placement_tasks)
+        for task, result in zip(placement_tasks, results):
+            placement = task.recover_placement
             data[(source_name, placement)] = (
                 result.frames_completed,
                 result.sim.total_progress,
@@ -1209,27 +1233,26 @@ def fig28_seed_robustness(
     spread of the incidental FP gain, so the headline number carries a
     confidence band instead of a point estimate.
     """
-    from ..energy.harvester import WristwatchRingHarvester
-    from ..energy.traces import PowerTrace
-
-    n_samples = int(duration_s / TICK_S)
-    program = _standard_program(kernel, 2, 8, "linear")
+    tasks = [
+        engine.ExecutiveTask(
+            kernel=kernel,
+            policy="linear",
+            profile_id=0,
+            minbits=2,
+            duration_s=duration_s,
+            frame_size=16,
+            frame_period_ticks=2_500,
+            n_frames=12,
+            retention_time_scale=RETENTION_TIME_SCALE,
+            trace_seed=31_000 + seed,
+        )
+        for seed in range(n_seeds)
+    ]
+    grid = engine.run_executive_grid(tasks)
     gains = []
     rows = []
-    for seed in range(n_seeds):
-        rng = np.random.default_rng(31_000 + seed)
-        trace = PowerTrace(
-            WristwatchRingHarvester().generate(n_samples, rng),
-            name=f"reroll-{seed}",
-        )
-        executive = IncidentalExecutive(
-            program,
-            trace,
-            frame_sequence(12, 16),
-            frame_period_ticks=2_500,
-            retention_time_scale=RETENTION_TIME_SCALE,
-        )
-        result = executive.run()
+    for seed, (task, result) in enumerate(grid):
+        trace = task.build_trace()
         baseline = simulate_fixed_bits(trace, 8, mix=kernel_mix(kernel))
         gain = result.useful_progress / max(1, baseline.forward_progress)
         gains.append(gain)

@@ -11,9 +11,13 @@ Usage (also via ``python -m repro``):
     repro-experiments run fig15 --no-cache # force fresh simulations
     repro-experiments profiles             # Figure 2 trace summaries
     repro-experiments calibration          # the jointly-calibrated constants
+    repro-experiments cache info --cache-dir .cache   # entry/byte counts
+    repro-experiments cache clear --cache-dir .cache  # drop all entries
 
 ``--workers``/``--cache-dir``/``--no-cache`` configure the experiment
-engine (:mod:`repro.analysis.engine`) for the whole invocation.
+engine (:mod:`repro.analysis.engine`) for the whole invocation. The
+cache holds both fixed-bit and incidental-executive results (the
+latter under an ``exec-`` filename prefix).
 """
 
 from __future__ import annotations
@@ -136,6 +140,34 @@ def _cmd_calibration() -> int:
     return 0
 
 
+def _cmd_cache(action: str, cache_dir: Optional[str]) -> int:
+    if cache_dir is None:
+        print(
+            "repro-experiments cache: error: --cache-dir is required",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        cache = engine.ResultCache(cache_dir)
+    except (ConfigurationError, OSError) as exc:
+        print(f"repro-experiments cache: error: {exc}", file=sys.stderr)
+        return 2
+    if action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached result(s) from {cache.cache_dir}")
+        return 0
+    info = cache.info()
+    rows = [
+        ("path", info["path"]),
+        ("entries", info["entries"]),
+        ("fixed-bit", info["fixed"]),
+        ("executive", info["executive"]),
+        ("bytes", info["bytes"]),
+    ]
+    print(format_table(("cache", "value"), rows))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for ``repro-experiments`` / ``python -m repro``."""
     parser = argparse.ArgumentParser(
@@ -166,6 +198,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     sub.add_parser("profiles", help="summarise the five power profiles")
     sub.add_parser("calibration", help="print the calibrated constants")
+    cache = sub.add_parser("cache", help="inspect or clear the result cache")
+    cache.add_argument("action", choices=("info", "clear"))
+    cache.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="the cache directory to inspect or clear",
+    )
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -183,6 +223,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args.artifacts)
     if args.command == "profiles":
         return _cmd_profiles()
+    if args.command == "cache":
+        return _cmd_cache(args.action, args.cache_dir)
     return _cmd_calibration()
 
 

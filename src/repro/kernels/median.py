@@ -44,9 +44,11 @@ class MedianKernel(Kernel):
         # approximate adder, so a key carries signed noise of one
         # quantum — not full low-bit randomisation.
         bits = ctx.alu_bits_for((h, w))
-        keys = np.empty_like(stack)
-        for k in range(9):
-            keys[k] = ctx.alu.add_signed_noise(stack[k], bits)
+        # One batched pass over the whole (9, h, w) stack: the RNG fills
+        # the batch in C order, consuming the exact stream the previous
+        # per-plane loop did, and the noise math is elementwise — the
+        # keys are bit-identical, 9x fewer datapath calls.
+        keys = ctx.alu.add_signed_noise(stack, bits)
 
         order = np.argsort(keys, axis=0, kind="stable")
         median_index = order[4]

@@ -104,9 +104,17 @@ class RetentionFailureModel:
         if not expired.any():
             return words.copy()
         out = words.astype(np.int64, copy=True)
-        for bit in np.flatnonzero(expired):
-            flips = self._rng.random(words.shape) < self.decay_flip_probability
-            out ^= flips.astype(np.int64) << int(bit)
+        # One batched draw over all expired bit positions: filling a
+        # (k,)+shape array consumes the identical PCG64 stream as k
+        # sequential draws of `shape`, and the per-bit XOR masks touch
+        # disjoint bits, so accumulation order cannot matter.
+        expired_idx = np.flatnonzero(expired)
+        draws = self._rng.random((expired_idx.size,) + words.shape)
+        flips = (draws < self.decay_flip_probability).astype(np.int64)
+        shifts = expired_idx.astype(np.int64).reshape(
+            (expired_idx.size,) + (1,) * words.ndim
+        )
+        out ^= np.bitwise_xor.reduce(flips << shifts, axis=0)
         return out.astype(words.dtype)
 
 

@@ -112,3 +112,34 @@ class TestInfoCommands:
     def test_requires_a_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestCacheCommand:
+    def test_info_and_clear_round_trip(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["cache", "info", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out and " 0" in out
+
+        assert main(["run", "fig24", "--cache-dir", cache_dir]) == 0
+        engine.reset()
+        capsys.readouterr()
+
+        assert main(["cache", "info", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "executive" in out
+        entries = len(list((tmp_path / "cache").glob("*.npz")))
+        assert entries > 0
+
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert f"removed {entries}" in out
+        assert not list((tmp_path / "cache").glob("*.npz"))
+
+    def test_cache_requires_a_directory(self, capsys):
+        assert main(["cache", "info"]) == 2
+        assert "--cache-dir is required" in capsys.readouterr().err
+
+    def test_cache_rejects_bad_action(self):
+        with pytest.raises(SystemExit):
+            main(["cache", "evict", "--cache-dir", "/tmp/x"])

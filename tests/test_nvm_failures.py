@@ -171,3 +171,40 @@ class TestFailureProperties:
     def test_violation_count_bounded(self, outage):
         model = RetentionFailureModel(LogRetention())
         assert 0 <= model.violation_count(outage) <= 8
+
+
+class TestCorruptWordsVectorization:
+    """The batched decay draw must consume the legacy per-bit RNG stream."""
+
+    @staticmethod
+    def _legacy_corrupt(policy, words, outage, seed, p=0.5):
+        # The original implementation: one draw per expired bit, in
+        # ascending bit order, applied to a running XOR accumulator.
+        model = RetentionFailureModel(policy, decay_flip_probability=p, seed=seed)
+        expired = model.expired_bits(outage)
+        out = words.astype(np.int64, copy=True)
+        rng = np.random.default_rng(seed)
+        for bit in np.flatnonzero(expired):
+            flips = rng.random(words.shape) < p
+            out[flips] ^= np.int64(1) << np.int64(bit)
+        return out.astype(words.dtype)
+
+    @pytest.mark.parametrize("outage", [500, 2_000, 20_000])
+    @pytest.mark.parametrize("shape", [(7,), (5, 6)])
+    def test_batched_draw_matches_sequential(self, outage, shape):
+        rng = np.random.default_rng(3)
+        words = rng.integers(0, 256, size=shape, dtype=np.int64)
+        for policy in (LinearRetention(), LogRetention(), ParabolaRetention()):
+            model = RetentionFailureModel(policy, seed=17)
+            got = model.corrupt_words(words, outage)
+            want = self._legacy_corrupt(policy, words, outage, seed=17)
+            assert np.array_equal(got, want)
+
+    def test_consecutive_calls_advance_the_stream(self):
+        words = np.arange(12, dtype=np.int64)
+        a = RetentionFailureModel(LinearRetention(), seed=5)
+        b = RetentionFailureModel(LinearRetention(), seed=5)
+        first_a, second_a = a.corrupt_words(words, 2_000), a.corrupt_words(words, 2_000)
+        first_b, second_b = b.corrupt_words(words, 2_000), b.corrupt_words(words, 2_000)
+        assert np.array_equal(first_a, first_b)
+        assert np.array_equal(second_a, second_b)
