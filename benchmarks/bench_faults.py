@@ -1,0 +1,146 @@
+"""Fault-tolerance overhead snapshot: clean vs faulted grid runs.
+
+Times the fixed-bit profile sweep under three conditions:
+
+1. ``clean``      — no faults, the robustness layer idle (its overhead
+   over the pre-hardening engine should be noise);
+2. ``faulted``    — a seeded :class:`~repro.analysis.faults.FaultPlan`
+   injecting crashes and corrupt payloads on first attempts, recovered
+   by in-place retries;
+3. ``degraded``   — a hang pushing a pooled run past its task timeout,
+   forcing pool abandonment and serial fallback.
+
+Every faulted configuration's result is checked bit-for-bit against
+the clean run before numbers are reported — recovery that changes
+results would be worse than no recovery. Results land in
+``BENCH_faults.json`` (repo root by default); CI runs ``--quick`` as a
+smoke test.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_faults.py            # full sweep
+    PYTHONPATH=src python benchmarks/bench_faults.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_faults.py --workers 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import time
+
+from repro import __version__
+from repro.analysis import engine, faults, telemetry
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def _sweep_spec(quick: bool) -> engine.GridSpec:
+    if quick:
+        return engine.GridSpec(
+            profile_ids=(1, 2), bits=(8, 4, 1), kernels=("median",), duration_s=2.0
+        )
+    return engine.GridSpec(
+        profile_ids=(1, 2, 3, 4, 5),
+        bits=(8, 6, 4, 2),
+        kernels=("median",),
+        duration_s=5.0,
+    )
+
+
+def run_benchmark(workers: int, quick: bool) -> dict:
+    spec = _sweep_spec(quick)
+    tasks = spec.tasks()
+    n_tasks = len(tasks)
+    for task in tasks:
+        task.build_trace()
+
+    engine.reset()
+    engine.configure(use_cache=False)
+    t0 = time.perf_counter()
+    clean = engine.run_grid(spec, workers=workers)
+    clean_s = time.perf_counter() - t0
+
+    # Crashes + corrupt payloads on first attempts: recovered by retry.
+    plan = faults.FaultPlan.seeded(
+        42, n_tasks=n_tasks, crashes=2, corrupts=2, scope="fixed"
+    )
+    engine.clear_memory_cache()
+    t0 = time.perf_counter()
+    with faults.injected(plan):
+        faulted = engine.run_grid(spec, workers=workers, retry_backoff_s=0.0)
+    faulted_s = time.perf_counter() - t0
+    faulted_report = telemetry.last_report(kind="fixed")
+
+    # A hang past the task timeout: pool abandoned, serial fallback.
+    hang_plan = faults.FaultPlan.seeded(
+        42, n_tasks=n_tasks, hangs=1, hang_s=60.0, scope="fixed"
+    )
+    engine.clear_memory_cache()
+    t0 = time.perf_counter()
+    with faults.injected(hang_plan):
+        degraded = engine.run_grid(
+            spec, workers=max(workers, 2), task_timeout_s=1.5,
+            retry_backoff_s=0.0,
+        )
+    degraded_s = time.perf_counter() - t0
+    degraded_report = telemetry.last_report(kind="fixed")
+
+    if not clean.equal(faulted):
+        raise AssertionError("faulted grid diverged from the clean grid")
+    if not clean.equal(degraded):
+        raise AssertionError("degraded grid diverged from the clean grid")
+    counts = plan.counts()
+    if faulted_report.crashes != counts["crash"]:
+        raise AssertionError("telemetry missed injected crashes")
+    if faulted_report.corrupt_payloads != counts["corrupt"]:
+        raise AssertionError("telemetry missed injected corrupt payloads")
+    if not degraded_report.degraded:
+        raise AssertionError("hang past the timeout did not degrade the run")
+
+    return {
+        "benchmark": "fault-tolerance overhead (fixed-bit sweep)",
+        "version": __version__,
+        "python": platform.python_version(),
+        "quick": quick,
+        "tasks": n_tasks,
+        "workers": workers,
+        "clean_s": round(clean_s, 3),
+        "faulted_s": round(faulted_s, 3),
+        "degraded_s": round(degraded_s, 3),
+        "faulted_overhead": round(faulted_s / clean_s, 2),
+        "injected": counts,
+        "retries": faulted_report.retries,
+        "timeouts": degraded_report.timeouts,
+        "pool_failures": degraded_report.pool_failures,
+        "bit_exact": True,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small grid, short traces (CI smoke)"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4, help="process count for the pooled phases"
+    )
+    parser.add_argument(
+        "--output",
+        default=str(REPO_ROOT / "BENCH_faults.json"),
+        help="where to write the JSON snapshot",
+    )
+    args = parser.parse_args(argv)
+
+    snapshot = run_benchmark(workers=args.workers, quick=args.quick)
+    out = pathlib.Path(args.output)
+    out.write_text(json.dumps(snapshot, indent=2) + "\n")
+    print(json.dumps(snapshot, indent=2))
+    print(f"\nwrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

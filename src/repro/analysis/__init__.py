@@ -6,7 +6,7 @@ EXPERIMENTS.md records. See DESIGN.md's experiment index for the
 mapping.
 """
 
-from . import engine, experiments
+from . import engine, experiments, faults, telemetry
 from .engine import (
     FixedBitTask,
     GridResult,
@@ -15,12 +15,19 @@ from .engine import (
     run_grid,
     simulation_results_equal,
 )
+from .faults import FaultPlan, FaultSpec
 from .reporting import format_table, format_series
 from .sweeps import QoSFrontier, SweepPoint, qos_frontier
+from .telemetry import RunReport
 
 __all__ = [
     "engine",
     "experiments",
+    "faults",
+    "telemetry",
+    "FaultPlan",
+    "FaultSpec",
+    "RunReport",
     "FixedBitTask",
     "GridSpec",
     "GridResult",

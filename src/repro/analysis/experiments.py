@@ -15,7 +15,7 @@ pins down and what ``tests/test_experiments.py`` checks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from functools import lru_cache
+from functools import lru_cache, wraps
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -48,7 +48,7 @@ from ..quality.qos import TABLE2_POLICIES, evaluate_qos
 from ..system.config import SystemConfig
 from ..system.simulator import FixedBitAllocator, NVPSystemSimulator, simulate_fixed_bits
 from ..system.wait_compute import WaitComputeSimulator
-from . import engine
+from . import engine, telemetry
 from .reporting import format_table
 
 __all__ = ["ExperimentResult"]
@@ -76,6 +76,26 @@ class ExperimentResult:
         """The artifact as an aligned text table."""
         title = f"[{self.experiment_id}] {self.description}"
         return title + "\n" + format_table(self.headers, self.rows)
+
+
+def _artifact(label: str):
+    """Tag a runner's engine activity with its artifact id.
+
+    Every grid the wrapped runner executes produces a
+    :class:`repro.analysis.telemetry.RunReport` carrying ``label`` as
+    its context, so ``repro-experiments report`` can attribute cache
+    hits, retries and degradations to the artifact that caused them.
+    """
+
+    def decorate(fn):
+        @wraps(fn)
+        def wrapper(*args, **kwargs):
+            with telemetry.context(label):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate
 
 
 # -- shared, cached building blocks -------------------------------------------
@@ -119,6 +139,7 @@ class _SaturatedIncidentalAllocator(IncidentalAllocator):
 # -- Figure 2: the five power profiles ----------------------------------------
 
 
+@_artifact("fig02")
 def fig02_power_profiles(duration_s: float = 10.0) -> ExperimentResult:
     """Figure 2: statistics of the five standard "watch" profiles."""
     rows = []
@@ -146,6 +167,7 @@ def fig02_power_profiles(duration_s: float = 10.0) -> ExperimentResult:
 # -- Figure 3: outage durations and frequency ----------------------------------
 
 
+@_artifact("fig03")
 def fig03_outage_statistics(profile_id: int = 1, duration_s: float = 10.0) -> ExperimentResult:
     """Figure 3: outage duration distribution for one profile."""
     trace = _trace(profile_id, duration_s)
@@ -173,6 +195,7 @@ def fig03_outage_statistics(profile_id: int = 1, duration_s: float = 10.0) -> Ex
 # -- Figure 4: STT-RAM write current vs pulse width vs retention ---------------
 
 
+@_artifact("fig04")
 def fig04_sttram_write() -> ExperimentResult:
     """Figure 4: write current / pulse width / retention trade-off."""
     cell = STTRAMModel()
@@ -201,6 +224,7 @@ def fig04_sttram_write() -> ExperimentResult:
 # -- Figure 5: retention-time shaping curves ------------------------------------
 
 
+@_artifact("fig05")
 def fig05_retention_shaping(time_scale: float = 1.0) -> ExperimentResult:
     """Figure 5: per-bit shaped retention times (Equations 1-3)."""
     policies = [
@@ -227,6 +251,7 @@ def fig05_retention_shaping(time_scale: float = 1.0) -> ExperimentResult:
 # -- Section 2.2: NVP vs wait-compute -------------------------------------------
 
 
+@_artifact("sec2.2")
 def sec22_wait_compute(
     profile_ids: Sequence[int] = (1, 2, 3, 4, 5),
     duration_s: float = 10.0,
@@ -260,6 +285,7 @@ def sec22_wait_compute(
 # -- Figure 9: timing-behaviour analysis -----------------------------------------
 
 
+@_artifact("fig09")
 def fig09_timing_behavior(
     profile_id: int = 2,
     duration_s: float = 10.0,
@@ -340,6 +366,7 @@ def _quality_sweep(mode: str, kernels: Sequence[str], bits_list: Sequence[int], 
     return rows, data
 
 
+@_artifact("fig12")
 def fig12_alu_quality(
     kernels: Sequence[str] = ("sobel", "median", "integral"),
     bits_list: Sequence[int] = (7, 6, 5, 4, 3, 2, 1),
@@ -355,6 +382,7 @@ def fig12_alu_quality(
     )
 
 
+@_artifact("fig14")
 def fig14_memory_quality(
     kernels: Sequence[str] = ("sobel", "median", "integral"),
     bits_list: Sequence[int] = (7, 6, 5, 4, 3, 2, 1),
@@ -373,6 +401,7 @@ def fig14_memory_quality(
 # -- Figures 15-16: forward progress and backups vs bitwidth ------------------------
 
 
+@_artifact("fig15")
 def fig15_forward_progress(
     profile_ids: Sequence[int] = (1, 2, 3, 4, 5),
     bits_list: Sequence[int] = (8, 7, 6, 5, 4, 3, 2, 1),
@@ -401,6 +430,7 @@ def fig15_forward_progress(
     )
 
 
+@_artifact("fig16")
 def fig16_backup_counts(
     profile_ids: Sequence[int] = (1, 2, 3, 4, 5),
     bits_list: Sequence[int] = (8, 7, 6, 5, 4, 3, 2, 1),
@@ -454,6 +484,7 @@ def _dynamic_run(profile_id: int, duration_s: float, minbits: int, kernel: str):
     )
 
 
+@_artifact("fig18")
 def fig18_bit_utilization(
     profile_ids: Sequence[int] = (1, 2, 3),
     duration_s: float = 10.0,
@@ -489,6 +520,7 @@ def _dynamic_quality(profile_id: int, duration_s: float, minbits: int, kernel_na
     return sim, compute_mse(reference, output), compute_psnr(reference, output)
 
 
+@_artifact("fig20")
 def fig20_dynamic_vs_fixed(
     profile_ids: Sequence[int] = (1, 2, 3),
     duration_s: float = 10.0,
@@ -525,6 +557,7 @@ def fig20_dynamic_vs_fixed(
     )
 
 
+@_artifact("fig21")
 def fig21_minbits4(
     profile_ids: Sequence[int] = (1, 2, 3),
     duration_s: float = 10.0,
@@ -546,6 +579,7 @@ def fig21_minbits4(
 # -- Figure 22: retention failures -------------------------------------------------------
 
 
+@_artifact("fig22")
 def fig22_retention_failures(
     profile_ids: Sequence[int] = (1, 2, 3),
     duration_s: float = 10.0,
@@ -619,6 +653,7 @@ def _executive_run(
     return task, engine.cached_executive_run(task)
 
 
+@_artifact("fig24")
 def fig24_quality_vs_policy(
     profile_ids: Sequence[int] = (1, 2, 3),
     duration_s: float = 10.0,
@@ -655,6 +690,7 @@ def fig24_quality_vs_policy(
     )
 
 
+@_artifact("fig25")
 def fig25_fp_retention(
     profile_ids: Sequence[int] = (1, 2, 3),
     duration_s: float = 10.0,
@@ -683,6 +719,7 @@ def fig25_fp_retention(
 # -- Figures 26-27: recomputation ----------------------------------------------------------
 
 
+@_artifact("fig27")
 def fig27_recomputation(
     profile_id: int = 1,
     duration_s: float = 10.0,
@@ -714,6 +751,7 @@ def fig27_recomputation(
 # -- Table 2: tuned QoS policies --------------------------------------------------------------
 
 
+@_artifact("table2")
 def table2_qos(
     profile_ids: Sequence[int] = (1, 2, 3),
     duration_s: float = 10.0,
@@ -784,6 +822,7 @@ def table2_qos(
 # -- Figure 28: overall incidental FP gain ------------------------------------------------------
 
 
+@_artifact("fig28")
 def fig28_overall_gain(
     kernel_names: Sequence[str] = KERNEL_NAMES,
     profile_ids: Sequence[int] = (1, 2, 3, 4, 5),
@@ -835,6 +874,7 @@ def fig28_overall_gain(
 # -- Section 7: frame-rate validation --------------------------------------------------------------
 
 
+@_artifact("sec7")
 def sec7_frame_rates(
     kernel_names: Sequence[str] = ("susan_corners", "susan_edges", "jpeg_encode"),
     profile_id: int = 1,
@@ -1221,6 +1261,7 @@ def ablation_recover_placement(
     )
 
 
+@_artifact("fig28-seeds")
 def fig28_seed_robustness(
     n_seeds: int = 5,
     duration_s: float = 10.0,

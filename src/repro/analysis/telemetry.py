@@ -1,0 +1,282 @@
+"""Run telemetry: per-grid :class:`RunReport`\\ s and a JSONL event log.
+
+Every grid the experiment engine executes (fixed-bit, executive, or
+explicit-trace) produces one :class:`RunReport`: per-task wall time and
+attempt counts, the engine used, cache hit/miss/quarantine counters,
+retries, timeouts, injected or real worker failures, and whether the
+run degraded from the process pool to in-process serial execution.
+
+Reports are kept in a bounded in-process history (``history()`` /
+``last_report()``) and, when a log path is configured, appended to a
+JSONL event log — one ``run`` line per grid plus one ``task`` line per
+task — that ``repro-experiments report`` summarises after the fact.
+The log is append-only and line-oriented, so a crashed run still
+leaves every completed grid on disk (the NORM-style "observable
+replay" prerequisite: you can always reconstruct what a campaign
+actually executed).
+
+Experiment runners tag their grids with :func:`context` (e.g.
+``"fig15"``) so a report can be traced back to the artifact that
+requested it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Union
+
+__all__ = [
+    "TaskTelemetry",
+    "RunReport",
+    "configure",
+    "log_path",
+    "context",
+    "current_context",
+    "record",
+    "history",
+    "last_report",
+    "read_events",
+    "summarize_events",
+    "reset",
+]
+
+#: Reports kept in process memory (the JSONL log is unbounded).
+HISTORY_LIMIT = 256
+
+
+@dataclass
+class TaskTelemetry:
+    """What one grid task actually did (one ``task`` event line)."""
+
+    index: int
+    label: str = ""
+    status: str = "computed"  #: ``memo-hit`` | ``cache-hit`` | ``computed`` | ``failed``
+    engine: str = "auto"
+    wall_s: float = 0.0
+    attempts: int = 1
+    retries: int = 0
+    crashes: int = 0
+    timeouts: int = 0
+    corrupt_payloads: int = 0
+    executed_in: str = ""  #: ``pool`` | ``serial`` | ``degraded`` | ``""`` (cache hit)
+
+    def to_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+
+@dataclass
+class RunReport:
+    """Aggregated telemetry for one grid run (one ``run`` event line)."""
+
+    kind: str  #: ``fixed`` | ``executive`` | ``trace``
+    context: str = ""  #: artifact label, e.g. ``"fig15"``
+    engine: str = "auto"
+    workers: int = 1
+    n_tasks: int = 0
+    memo_hits: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    quarantines: int = 0
+    computed: int = 0
+    retries: int = 0
+    crashes: int = 0
+    timeouts: int = 0
+    corrupt_payloads: int = 0
+    pool_failures: int = 0
+    degraded: bool = False
+    failed: int = 0
+    wall_s: float = 0.0
+    started_at: float = 0.0
+    tasks: List[TaskTelemetry] = field(default_factory=list)
+
+    def merge_task(self, task: TaskTelemetry) -> None:
+        """Fold one task record into the aggregate counters."""
+        self.tasks.append(task)
+        self.retries += task.retries
+        self.crashes += task.crashes
+        self.timeouts += task.timeouts
+        self.corrupt_payloads += task.corrupt_payloads
+        if task.status == "memo-hit":
+            self.memo_hits += 1
+        elif task.status == "cache-hit":
+            self.cache_hits += 1
+        elif task.status == "failed":
+            self.failed += 1
+        elif task.status == "computed":
+            self.computed += 1
+
+    def to_dict(self, include_tasks: bool = False) -> Dict[str, object]:
+        out = dataclasses.asdict(self)
+        if not include_tasks:
+            out.pop("tasks")
+        return out
+
+    @property
+    def worker_failures(self) -> int:
+        """Everything a worker did wrong: crashes, hangs, bad payloads."""
+        return self.crashes + self.timeouts + self.corrupt_payloads
+
+
+# -- module state --------------------------------------------------------------
+
+_HISTORY: List[RunReport] = []
+_LOG_PATH: Optional[Path] = None
+_CONTEXT: List[str] = []
+
+
+def configure(log_path: Optional[Union[str, os.PathLike]]) -> None:
+    """Set (or, with ``None``, clear) the JSONL event-log destination.
+
+    The parent directory is created eagerly so a bad path fails at
+    configuration time, not mid-campaign.
+    """
+    global _LOG_PATH
+    if log_path is None:
+        _LOG_PATH = None
+        return
+    path = Path(log_path)
+    if path.parent:
+        path.parent.mkdir(parents=True, exist_ok=True)
+    _LOG_PATH = path
+
+
+def log_path() -> Optional[Path]:
+    """The configured JSONL event-log path, if any."""
+    return _LOG_PATH
+
+
+@contextmanager
+def context(label: str) -> Iterator[None]:
+    """Tag every grid run in this block with ``label`` (re-entrant)."""
+    _CONTEXT.append(str(label))
+    try:
+        yield
+    finally:
+        _CONTEXT.pop()
+
+
+def current_context() -> str:
+    """The innermost active context label (``""`` outside any)."""
+    return _CONTEXT[-1] if _CONTEXT else ""
+
+
+def record(report: RunReport) -> None:
+    """Add ``report`` to the history and append it to the event log."""
+    _HISTORY.append(report)
+    del _HISTORY[:-HISTORY_LIMIT]
+    if _LOG_PATH is None:
+        return
+    lines = [json.dumps({"event": "run", **report.to_dict()}, sort_keys=True)]
+    for task in report.tasks:
+        lines.append(
+            json.dumps(
+                {
+                    "event": "task",
+                    "kind": report.kind,
+                    "context": report.context,
+                    **task.to_dict(),
+                },
+                sort_keys=True,
+            )
+        )
+    with open(_LOG_PATH, "a", encoding="utf-8") as handle:
+        handle.write("\n".join(lines) + "\n")
+
+
+def history() -> List[RunReport]:
+    """The retained reports, oldest first (a copy)."""
+    return list(_HISTORY)
+
+
+def last_report(kind: Optional[str] = None) -> Optional[RunReport]:
+    """The most recent report (optionally of one grid ``kind``)."""
+    for report in reversed(_HISTORY):
+        if kind is None or report.kind == kind:
+            return report
+    return None
+
+
+def reset() -> None:
+    """Drop the history, the context stack and the log configuration."""
+    global _LOG_PATH
+    _HISTORY.clear()
+    _CONTEXT.clear()
+    _LOG_PATH = None
+
+
+# -- event-log reading (the ``repro-experiments report`` command) --------------
+
+
+def read_events(path: Union[str, os.PathLike]) -> List[Dict[str, object]]:
+    """Parse a JSONL event log; malformed lines are skipped, not fatal.
+
+    A run that died mid-write leaves at most one torn final line; the
+    rest of the campaign must still be reportable.
+    """
+    events: List[Dict[str, object]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(event, dict):
+                events.append(event)
+    return events
+
+
+def summarize_events(events: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    """Aggregate totals over every ``run`` event of a log."""
+    totals = {
+        "runs": 0,
+        "tasks": 0,
+        "memo_hits": 0,
+        "cache_hits": 0,
+        "cache_misses": 0,
+        "quarantines": 0,
+        "computed": 0,
+        "retries": 0,
+        "crashes": 0,
+        "timeouts": 0,
+        "corrupt_payloads": 0,
+        "pool_failures": 0,
+        "degraded_runs": 0,
+        "failed": 0,
+        "wall_s": 0.0,
+    }
+    for event in events:
+        if event.get("event") != "run":
+            continue
+        totals["runs"] += 1
+        totals["tasks"] += int(event.get("n_tasks", 0))
+        totals["degraded_runs"] += int(bool(event.get("degraded", False)))
+        totals["wall_s"] += float(event.get("wall_s", 0.0))
+        for key in (
+            "memo_hits",
+            "cache_hits",
+            "cache_misses",
+            "quarantines",
+            "computed",
+            "retries",
+            "crashes",
+            "timeouts",
+            "corrupt_payloads",
+            "pool_failures",
+            "failed",
+        ):
+            totals[key] += int(event.get(key, 0))
+    return totals
+
+
+def now() -> float:
+    """Wall-clock timestamp for report stamping (monkeypatchable)."""
+    return time.time()

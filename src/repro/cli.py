@@ -11,13 +11,20 @@ Usage (also via ``python -m repro``):
     repro-experiments run fig15 --no-cache # force fresh simulations
     repro-experiments profiles             # Figure 2 trace summaries
     repro-experiments calibration          # the jointly-calibrated constants
-    repro-experiments cache info --cache-dir .cache   # entry/byte counts
+    repro-experiments cache info --cache-dir .cache   # entry/byte/quarantine counts
+    repro-experiments cache verify --cache-dir .cache # scan + quarantine corrupt entries
     repro-experiments cache clear --cache-dir .cache  # drop all entries
+    repro-experiments run all --telemetry-log run.jsonl  # record run telemetry
+    repro-experiments report --log run.jsonl          # summarise a recorded campaign
 
 ``--workers``/``--cache-dir``/``--no-cache`` configure the experiment
-engine (:mod:`repro.analysis.engine`) for the whole invocation. The
-cache holds both fixed-bit and incidental-executive results (the
-latter under an ``exec-`` filename prefix).
+engine (:mod:`repro.analysis.engine`) for the whole invocation;
+``--task-timeout``/``--retries``/``--retry-backoff`` tune its fault
+tolerance, and ``--telemetry-log`` appends one JSONL event per grid
+run and per task (see :mod:`repro.analysis.telemetry`). The cache
+holds both fixed-bit and incidental-executive results (the latter
+under an ``exec-`` filename prefix); corrupt entries are quarantined
+into its ``quarantine/`` subdirectory, never silently dropped.
 """
 
 from __future__ import annotations
@@ -26,10 +33,10 @@ import argparse
 import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
-from .analysis import engine
+from .analysis import engine, telemetry
 from .analysis import experiments as E
 from .analysis.reporting import format_table
-from .errors import ConfigurationError
+from .errors import ConfigurationError, EngineExecutionError
 
 __all__ = ["main", "EXPERIMENT_RUNNERS"]
 
@@ -80,7 +87,14 @@ def _cmd_run(artifact_ids: Sequence[str]) -> int:
         )
         return 2
     for artifact_id in ids:
-        result = EXPERIMENT_RUNNERS[artifact_id]()
+        try:
+            result = EXPERIMENT_RUNNERS[artifact_id]()
+        except EngineExecutionError as exc:
+            print(
+                f"repro-experiments run: error: {artifact_id} failed: {exc}",
+                file=sys.stderr,
+            )
+            return 1
         print(result.as_table())
         print()
     return 0
@@ -156,6 +170,16 @@ def _cmd_cache(action: str, cache_dir: Optional[str]) -> int:
         removed = cache.clear()
         print(f"removed {removed} cached result(s) from {cache.cache_dir}")
         return 0
+    if action == "verify":
+        scan = cache.verify()
+        rows = [
+            ("checked", scan["checked"]),
+            ("ok", scan["ok"]),
+            ("quarantined now", scan["quarantined"]),
+            ("quarantined total", cache.quarantined_count()),
+        ]
+        print(format_table(("verify", "value"), rows))
+        return 0
     info = cache.info()
     rows = [
         ("path", info["path"]),
@@ -163,8 +187,81 @@ def _cmd_cache(action: str, cache_dir: Optional[str]) -> int:
         ("fixed-bit", info["fixed"]),
         ("executive", info["executive"]),
         ("bytes", info["bytes"]),
+        ("quarantined", info["quarantined"]),
+        ("quarantine path", info["quarantine_path"]),
     ]
     print(format_table(("cache", "value"), rows))
+    return 0
+
+
+def _cmd_report(log: str, limit: int) -> int:
+    """Summarise a JSONL telemetry log (per-run rows plus totals)."""
+    try:
+        events = telemetry.read_events(log)
+    except OSError as exc:
+        print(f"repro-experiments report: error: {exc}", file=sys.stderr)
+        return 2
+    runs = [event for event in events if event.get("event") == "run"]
+    if not runs:
+        print(f"no run events in {log}")
+        return 0
+    rows = []
+    for event in runs[-limit:] if limit else runs:
+        rows.append(
+            (
+                str(event.get("context") or "-"),
+                event.get("kind", "?"),
+                event.get("n_tasks", 0),
+                int(event.get("memo_hits", 0)) + int(event.get("cache_hits", 0)),
+                event.get("computed", 0),
+                event.get("retries", 0),
+                int(event.get("crashes", 0))
+                + int(event.get("timeouts", 0))
+                + int(event.get("corrupt_payloads", 0)),
+                event.get("quarantines", 0),
+                "yes" if event.get("degraded") else "no",
+                round(float(event.get("wall_s", 0.0)), 3),
+            )
+        )
+    print(
+        format_table(
+            (
+                "context",
+                "kind",
+                "tasks",
+                "hits",
+                "computed",
+                "retries",
+                "failures",
+                "quarantined",
+                "degraded",
+                "wall_s",
+            ),
+            rows,
+        )
+    )
+    totals = telemetry.summarize_events(events)
+    print()
+    print(
+        format_table(
+            ("total", "value"),
+            [
+                ("runs", totals["runs"]),
+                ("tasks", totals["tasks"]),
+                ("cache hits", totals["memo_hits"] + totals["cache_hits"]),
+                ("computed", totals["computed"]),
+                ("retries", totals["retries"]),
+                ("crashes", totals["crashes"]),
+                ("timeouts", totals["timeouts"]),
+                ("corrupt payloads", totals["corrupt_payloads"]),
+                ("quarantined entries", totals["quarantines"]),
+                ("pool failures", totals["pool_failures"]),
+                ("degraded runs", totals["degraded_runs"]),
+                ("failed tasks", totals["failed"]),
+                ("wall_s", round(totals["wall_s"], 3)),
+            ],
+        )
+    )
     return 0
 
 
@@ -196,15 +293,60 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="disable result caching (in-memory and on-disk)",
     )
+    run.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-task timeout for pooled grids (0 disables; default: disabled)",
+    )
+    run.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="re-attempts for a crashed/hung/corrupt task (default: 2)",
+    )
+    run.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="base exponential backoff between retries (default: 0.05)",
+    )
+    run.add_argument(
+        "--telemetry-log",
+        default=None,
+        metavar="PATH",
+        help="append one JSONL event per grid run/task (see 'report')",
+    )
     sub.add_parser("profiles", help="summarise the five power profiles")
     sub.add_parser("calibration", help="print the calibrated constants")
-    cache = sub.add_parser("cache", help="inspect or clear the result cache")
-    cache.add_argument("action", choices=("info", "clear"))
+    cache = sub.add_parser(
+        "cache", help="inspect, verify or clear the result cache"
+    )
+    cache.add_argument("action", choices=("info", "verify", "clear"))
     cache.add_argument(
         "--cache-dir",
         default=None,
         metavar="DIR",
-        help="the cache directory to inspect or clear",
+        help="the cache directory to inspect, verify or clear",
+    )
+    report = sub.add_parser(
+        "report", help="summarise a recorded JSONL telemetry log"
+    )
+    report.add_argument(
+        "--log",
+        required=True,
+        metavar="PATH",
+        help="the JSONL event log written by 'run --telemetry-log'",
+    )
+    report.add_argument(
+        "--limit",
+        type=int,
+        default=0,
+        metavar="N",
+        help="show only the last N runs (default: all)",
     )
 
     args = parser.parse_args(argv)
@@ -216,8 +358,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                 workers=args.workers,
                 cache_dir=args.cache_dir,
                 use_cache=not args.no_cache,
+                task_timeout_s=args.task_timeout,
+                retries=args.retries,
+                retry_backoff_s=args.retry_backoff,
             )
-        except ConfigurationError as exc:
+            telemetry.configure(args.telemetry_log)
+        except (ConfigurationError, OSError) as exc:
             print(f"repro-experiments run: error: {exc}", file=sys.stderr)
             return 2
         return _cmd_run(args.artifacts)
@@ -225,6 +371,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_profiles()
     if args.command == "cache":
         return _cmd_cache(args.action, args.cache_dir)
+    if args.command == "report":
+        return _cmd_report(args.log, args.limit)
     return _cmd_calibration()
 
 

@@ -20,6 +20,8 @@ __all__ = [
     "PragmaError",
     "MergeError",
     "QualityError",
+    "EngineExecutionError",
+    "InjectedFaultError",
 ]
 
 
@@ -69,3 +71,20 @@ class MergeError(ReproError, ValueError):
 
 class QualityError(ReproError, ValueError):
     """A quality-metric computation was given incompatible inputs."""
+
+
+class EngineExecutionError(ReproError, RuntimeError):
+    """A grid task kept failing after every configured retry.
+
+    Raised by the experiment engine's robust runner once a task has
+    exhausted its retry budget (crashes, timeouts, or corrupted
+    payloads on every attempt). Carries one line per failed task.
+    """
+
+
+class InjectedFaultError(ReproError, RuntimeError):
+    """A deliberately injected worker crash (fault-injection harness).
+
+    Only ever raised by :mod:`repro.analysis.faults` when a test or
+    benchmark has installed a fault plan; production runs never see it.
+    """

@@ -1,0 +1,214 @@
+"""Cache corruption: every bad entry is quarantined, never silently missed.
+
+Covers all three read paths — ``get``, ``get_executive`` and the
+``verify()`` scan — against truncated, zero-byte, wrong-schema and
+wrong-version ``.npz`` entries, and asserts the grid runners recompute
+bit-exact results afterwards.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import engine, telemetry
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(autouse=True)
+def _fresh_engine():
+    engine.reset()
+    telemetry.reset()
+    yield
+    telemetry.reset()
+    engine.reset()
+
+
+TASK = engine.FixedBitTask(
+    profile_id=1, bits=8, kernel="median", duration_s=0.3
+)
+EXEC_TASK = engine.ExecutiveTask(
+    kernel="median",
+    policy="linear",
+    profile_id=1,
+    minbits=2,
+    duration_s=0.3,
+    frame_period_ticks=1_500,
+)
+
+
+def _seed_fixed_entry(cache):
+    """Run the one-task grid through ``cache``; returns (key, path)."""
+    engine.run_grid([TASK], workers=1, cache=cache)
+    engine.clear_memory_cache()
+    key = TASK.cache_key()
+    path = cache._path(key)
+    assert path.exists()
+    return key, path
+
+
+def _seed_executive_entry(cache):
+    engine.run_executive_grid([EXEC_TASK], workers=1, cache=cache)
+    engine.clear_memory_cache()
+    key = EXEC_TASK.cache_key()
+    path = cache._exec_path(key)
+    assert path.exists()
+    return key, path
+
+
+def _truncate(path):
+    blob = path.read_bytes()
+    path.write_bytes(blob[: len(blob) // 2])
+
+
+def _zero_byte(path):
+    path.write_bytes(b"")
+
+
+def _wrong_schema(path):
+    np.savez(
+        path,
+        version=np.array(engine.ENGINE_CACHE_VERSION),
+        unexpected=np.arange(3),
+    )
+
+
+def _wrong_version(path):
+    blob = dict(np.load(path, allow_pickle=False))
+    blob["version"] = np.array("0-incompatible")
+    np.savez(path, **blob)
+
+
+CORRUPTIONS = {
+    "truncated": _truncate,
+    "zero-byte": _zero_byte,
+    "wrong-schema": _wrong_schema,
+    "wrong-version": _wrong_version,
+}
+
+
+# -- read paths ---------------------------------------------------------------
+
+
+@pytest.mark.parametrize("corrupt", CORRUPTIONS.values(), ids=CORRUPTIONS)
+def test_get_quarantines_and_recomputes(tmp_path, corrupt):
+    cache = engine.ResultCache(tmp_path)
+    clean = engine.run_grid([TASK], workers=1, cache=cache)
+    engine.clear_memory_cache()
+    key = TASK.cache_key()
+    path = cache._path(key)
+    corrupt(path)
+
+    assert cache.get(key) is None
+    assert not path.exists()
+    assert (cache.quarantine_dir / path.name).exists()
+    assert cache.quarantines == 1
+    assert cache.quarantined_count() == 1
+
+    # The grid runner sees a miss, recomputes bit-exactly, and the
+    # telemetry carries the quarantine.
+    again = engine.run_grid([TASK], workers=1, cache=cache)
+    assert clean.equal(again)
+    report = telemetry.last_report(kind="fixed")
+    assert report.quarantines == 0  # quarantined before the run
+    assert report.computed == 1
+    assert cache.get(key) is not None  # fresh entry readable again
+
+
+@pytest.mark.parametrize("corrupt", CORRUPTIONS.values(), ids=CORRUPTIONS)
+def test_get_executive_quarantines_and_recomputes(tmp_path, corrupt):
+    cache = engine.ResultCache(tmp_path)
+    clean = engine.run_executive_grid([EXEC_TASK], workers=1, cache=cache)
+    engine.clear_memory_cache()
+    key = EXEC_TASK.cache_key()
+    path = cache._exec_path(key)
+    corrupt(path)
+
+    assert cache.get_executive(key) is None
+    assert not path.exists()
+    assert (cache.quarantine_dir / path.name).exists()
+    assert cache.quarantines == 1
+
+    again = engine.run_executive_grid([EXEC_TASK], workers=1, cache=cache)
+    assert clean.equal(again)
+    assert cache.get_executive(key) is not None
+
+
+def test_quarantine_counted_during_grid_run(tmp_path):
+    cache = engine.ResultCache(tmp_path)
+    _, path = _seed_fixed_entry(cache)
+    _truncate(path)
+    engine.run_grid([TASK], workers=1, cache=cache)
+    report = telemetry.last_report(kind="fixed")
+    assert report.quarantines == 1
+    assert report.cache_misses == 1
+    assert report.computed == 1
+
+
+@pytest.mark.parametrize("corrupt", CORRUPTIONS.values(), ids=CORRUPTIONS)
+def test_verify_scan_quarantines_both_kinds(tmp_path, corrupt):
+    cache = engine.ResultCache(tmp_path)
+    _, fixed_path = _seed_fixed_entry(cache)
+    _, exec_path = _seed_executive_entry(cache)
+    corrupt(fixed_path)
+    corrupt(exec_path)
+
+    stats = cache.verify()
+    assert stats == {"checked": 2, "ok": 0, "quarantined": 2}
+    assert cache.quarantined_count() == 2
+    assert len(cache) == 0
+
+    # A second scan finds nothing left to check or quarantine.
+    assert cache.verify() == {"checked": 0, "ok": 0, "quarantined": 0}
+
+
+def test_verify_scan_keeps_healthy_entries(tmp_path):
+    cache = engine.ResultCache(tmp_path)
+    _seed_fixed_entry(cache)
+    _seed_executive_entry(cache)
+    assert cache.verify() == {"checked": 2, "ok": 2, "quarantined": 0}
+    assert cache.quarantined_count() == 0
+    assert len(cache) == 2
+
+
+# -- bookkeeping ---------------------------------------------------------------
+
+
+def test_missing_entry_is_a_plain_miss_not_a_quarantine(tmp_path):
+    cache = engine.ResultCache(tmp_path)
+    assert cache.get("no-such-key") is None
+    assert cache.get_executive("no-such-key") is None
+    assert cache.misses == 2
+    assert cache.quarantines == 0
+    assert cache.quarantined_count() == 0
+
+
+def test_info_reports_quarantine_state(tmp_path):
+    cache = engine.ResultCache(tmp_path)
+    _, path = _seed_fixed_entry(cache)
+    _zero_byte(path)
+    assert cache.get(TASK.cache_key()) is None
+    info = cache.info()
+    assert info["entries"] == 0
+    assert info["quarantined"] == 1
+    assert info["quarantine_path"] == str(cache.quarantine_dir)
+
+
+def test_clear_keeps_quarantined_files(tmp_path):
+    cache = engine.ResultCache(tmp_path)
+    _, path = _seed_fixed_entry(cache)
+    _truncate(path)
+    assert cache.get(TASK.cache_key()) is None
+    _seed_fixed_entry(cache)  # recompute a healthy entry
+    removed = cache.clear()
+    assert removed == 1
+    assert cache.quarantined_count() == 1
+
+
+def test_unusable_cache_dir_raises_configuration_error(tmp_path):
+    # A regular file where the directory should be: mkdir fails even
+    # for root (os.access alone would lie for a privileged user).
+    blocker = tmp_path / "blocker"
+    blocker.write_text("not a directory")
+    with pytest.raises(ConfigurationError):
+        engine.ResultCache(blocker)
+    with pytest.raises(ConfigurationError):
+        engine.configure(cache_dir=blocker)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis import engine
+from repro.analysis import engine, telemetry
 from repro.analysis import experiments as E
 from repro.cli import EXPERIMENT_RUNNERS, main
 
@@ -143,3 +143,121 @@ class TestCacheCommand:
     def test_cache_rejects_bad_action(self):
         with pytest.raises(SystemExit):
             main(["cache", "evict", "--cache-dir", "/tmp/x"])
+
+    def test_cache_verify_reports_quarantines(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setitem(
+            EXPERIMENT_RUNNERS,
+            "fig16",
+            lambda: E.fig16_backup_counts(duration_s=0.4),
+        )
+        cache_dir = tmp_path / "cache"
+        assert main(["run", "fig16", "--cache-dir", str(cache_dir)]) == 0
+        engine.reset()
+        capsys.readouterr()
+
+        assert main(["cache", "verify", "--cache-dir", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "checked" in out and "quarantined" in out
+        assert not (cache_dir / "quarantine").exists()
+
+        entry = next(cache_dir.glob("*.npz"))
+        entry.write_bytes(b"corrupt")
+        assert main(["cache", "verify", "--cache-dir", str(cache_dir)]) == 0
+        capsys.readouterr()
+        assert (cache_dir / "quarantine" / entry.name).exists()
+
+        assert main(["cache", "info", "--cache-dir", str(cache_dir)]) == 0
+        assert "quarantined" in capsys.readouterr().out
+
+
+class TestRobustnessFlags:
+    """--task-timeout / --retries / --retry-backoff validation + wiring."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_engine(self):
+        engine.reset()
+        telemetry.reset()
+        yield
+        telemetry.reset()
+        engine.reset()
+
+    def test_flags_reach_the_engine_config(self, capsys):
+        assert main([
+            "run", "fig05",
+            "--task-timeout", "2.5", "--retries", "5", "--retry-backoff", "0.2",
+        ]) == 0
+        capsys.readouterr()
+        assert engine._CONFIG["task_timeout_s"] == 2.5
+        assert engine._CONFIG["retries"] == 5
+        assert engine._CONFIG["retry_backoff_s"] == 0.2
+
+    def test_task_timeout_zero_disables(self, capsys):
+        assert main(["run", "fig05", "--task-timeout", "0"]) == 0
+        capsys.readouterr()
+        assert engine._CONFIG["task_timeout_s"] is None
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["run", "fig05", "--workers", "0"],
+            ["run", "fig05", "--workers", "-2"],
+            ["run", "fig05", "--task-timeout", "-1"],
+            ["run", "fig05", "--retries", "-1"],
+            ["run", "fig05", "--retry-backoff", "-0.1"],
+        ],
+        ids=["workers-0", "workers-neg", "timeout-neg", "retries-neg",
+             "backoff-neg"],
+    )
+    def test_invalid_robustness_flags_fail_cleanly(self, argv, capsys):
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert "repro-experiments run: error:" in err
+
+    def test_unusable_cache_dir_fails_cleanly(self, tmp_path, capsys):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file, not a directory")
+        assert main(["run", "fig05", "--cache-dir", str(blocker)]) == 2
+        err = capsys.readouterr().err
+        assert "not usable" in err
+
+
+class TestReportCommand:
+    @pytest.fixture(autouse=True)
+    def _fresh_engine(self):
+        engine.reset()
+        telemetry.reset()
+        yield
+        telemetry.reset()
+        engine.reset()
+
+    def test_run_logs_and_report_summarises(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setitem(
+            EXPERIMENT_RUNNERS,
+            "fig16",
+            lambda: E.fig16_backup_counts(duration_s=0.4),
+        )
+        log = tmp_path / "events.jsonl"
+        assert main([
+            "run", "fig16", "--no-cache", "--telemetry-log", str(log),
+        ]) == 0
+        capsys.readouterr()
+        assert log.exists()
+
+        assert main(["report", "--log", str(log)]) == 0
+        out = capsys.readouterr().out
+        assert "fig16" in out
+        assert "runs" in out  # totals table
+        assert "degraded" in out
+
+        assert main(["report", "--log", str(log), "--limit", "1"]) == 0
+        assert "fig16" in capsys.readouterr().out
+
+    def test_report_missing_log_fails_cleanly(self, tmp_path, capsys):
+        assert main(["report", "--log", str(tmp_path / "nope.jsonl")]) == 2
+        assert "repro-experiments report: error:" in capsys.readouterr().err
+
+    def test_report_empty_log_is_not_an_error(self, tmp_path, capsys):
+        log = tmp_path / "empty.jsonl"
+        log.write_text("")
+        assert main(["report", "--log", str(log)]) == 0
+        assert "no run events" in capsys.readouterr().out

@@ -1,0 +1,162 @@
+"""Randomized property tests: retention monotonicity and merge semantics.
+
+Seeded stdlib ``random`` stands in for a property-testing framework:
+each test sweeps many randomly drawn configurations (word widths, time
+scales, buffer contents) and checks an invariant against a scalar
+oracle rather than hand-picked examples. Failures print the offending
+draw, so any counterexample is reproducible from the seed.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.merge import assemble_arrays
+from repro.core.precision import PrecisionMap
+from repro.errors import MergeError
+from repro.nvm.retention import STANDARD_POLICY_NAMES, policy_by_name
+
+N_DRAWS = 50
+
+
+# -- retention-policy monotonicity --------------------------------------------
+
+
+@pytest.mark.parametrize("name", STANDARD_POLICY_NAMES)
+def test_retention_non_decreasing_in_bit_significance(name):
+    """Higher bits never retain for *less* time (the paper's Figure 5
+    shapes are all monotone; clamping at the one-day cap preserves it)."""
+    rng = random.Random(0xBEEF)
+    for draw in range(N_DRAWS):
+        word_bits = rng.randint(2, 16)
+        time_scale = 10.0 ** rng.uniform(-3, 6)  # exercise the day-cap clamp
+        policy = policy_by_name(name, word_bits=word_bits, time_scale=time_scale)
+        profile = policy.retention_profile_ticks()
+        assert profile.shape == (word_bits,)
+        assert np.all(profile >= 0.0), (name, draw, word_bits, time_scale)
+        assert np.all(np.diff(profile) >= 0.0), (
+            name, draw, word_bits, time_scale, profile,
+        )
+
+
+@pytest.mark.parametrize("name", STANDARD_POLICY_NAMES)
+def test_retention_scales_linearly_with_time_scale(name):
+    rng = random.Random(0xCAFE)
+    for _ in range(N_DRAWS):
+        word_bits = rng.randint(2, 12)
+        scale = rng.uniform(0.01, 2.0)  # small enough to stay unclamped
+        base = policy_by_name(name, word_bits=word_bits)
+        scaled = policy_by_name(name, word_bits=word_bits, time_scale=scale)
+        np.testing.assert_allclose(
+            scaled.retention_profile_ticks(),
+            base.retention_profile_ticks() * scale,
+            rtol=1e-12,
+        )
+
+
+# -- assemble merge modes vs a scalar oracle ----------------------------------
+
+
+def _scalar_assemble(old_v, old_b, new_v, new_b, mode, word_bits):
+    """Element-at-a-time oracle for Table 1's merge semantics."""
+    max_value = (1 << word_bits) - 1
+    if mode == "sum":
+        return min(old_v + new_v, max_value), min(old_b, new_b)
+    if mode == "max":
+        return (new_v, new_b) if new_v > old_v else (old_v, old_b)
+    if mode == "min":
+        return (new_v, new_b) if new_v < old_v else (old_v, old_b)
+    # higherbits: more precision metadata wins, ties keep the old value.
+    return (new_v, new_b) if new_b > old_b else (old_v, old_b)
+
+
+def _random_buffer(rng, n, word_bits):
+    max_value = (1 << word_bits) - 1
+    values = np.array([rng.randint(0, max_value) for _ in range(n)], dtype=np.int64)
+    bits = np.array([rng.randint(0, word_bits) for _ in range(n)], dtype=np.int64)
+    return values, PrecisionMap.from_array(bits, word_bits=word_bits)
+
+
+@pytest.mark.parametrize("mode", ("sum", "max", "min", "higherbits"))
+def test_assemble_matches_scalar_oracle(mode):
+    rng = random.Random(0xF00D)
+    for draw in range(N_DRAWS):
+        word_bits = rng.choice((4, 8, 12))
+        n = rng.randint(1, 24)
+        old_values, old_precision = _random_buffer(rng, n, word_bits)
+        new_values, new_precision = _random_buffer(rng, n, word_bits)
+        merged, precision = assemble_arrays(
+            old_values, old_precision, new_values, new_precision, mode,
+            word_bits=word_bits,
+        )
+        for i in range(n):
+            want_v, want_b = _scalar_assemble(
+                int(old_values[i]), int(old_precision.bits[i]),
+                int(new_values[i]), int(new_precision.bits[i]),
+                mode, word_bits,
+            )
+            assert int(merged[i]) == want_v, (mode, draw, i)
+            assert int(precision.bits[i]) == want_b, (mode, draw, i)
+
+
+def test_higherbits_keeps_the_max_precision_element():
+    """Per element, the surviving precision is exactly the max of the
+    two versions' precisions — 'higher bits cover lower bits'."""
+    rng = random.Random(0xD1CE)
+    for _ in range(N_DRAWS):
+        n = rng.randint(1, 32)
+        old_values, old_precision = _random_buffer(rng, n, 8)
+        new_values, new_precision = _random_buffer(rng, n, 8)
+        _, precision = assemble_arrays(
+            old_values, old_precision, new_values, new_precision, "higherbits",
+        )
+        np.testing.assert_array_equal(
+            precision.bits,
+            np.maximum(old_precision.bits, new_precision.bits),
+        )
+
+
+def test_sum_saturates_and_never_overflows():
+    rng = random.Random(0xADD)
+    for _ in range(N_DRAWS):
+        word_bits = rng.choice((4, 8))
+        max_value = (1 << word_bits) - 1
+        n = rng.randint(1, 16)
+        old_values, old_precision = _random_buffer(rng, n, word_bits)
+        new_values, new_precision = _random_buffer(rng, n, word_bits)
+        merged, _ = assemble_arrays(
+            old_values, old_precision, new_values, new_precision, "sum",
+            word_bits=word_bits,
+        )
+        assert np.all(merged >= 0)
+        assert np.all(merged <= max_value)
+
+
+@pytest.mark.parametrize("mode", ("max", "min", "higherbits"))
+def test_extreme_modes_only_select_existing_elements(mode):
+    """max/min/higherbits never fabricate values: every merged element
+    came verbatim from one of the two inputs."""
+    rng = random.Random(0x5E1EC7)
+    for _ in range(N_DRAWS):
+        n = rng.randint(1, 16)
+        old_values, old_precision = _random_buffer(rng, n, 8)
+        new_values, new_precision = _random_buffer(rng, n, 8)
+        merged, _ = assemble_arrays(
+            old_values, old_precision, new_values, new_precision, mode,
+        )
+        from_old = merged == old_values
+        from_new = merged == new_values
+        assert np.all(from_old | from_new)
+
+
+def test_assemble_rejects_mismatched_shapes():
+    values = np.zeros(4, dtype=np.int64)
+    precision = PrecisionMap.from_array(np.zeros(4, dtype=np.int64))
+    with pytest.raises(MergeError):
+        assemble_arrays(
+            values, precision, np.zeros(5, dtype=np.int64),
+            PrecisionMap.from_array(np.zeros(5, dtype=np.int64)), "sum",
+        )
+    with pytest.raises(MergeError):
+        assemble_arrays(values, precision, values, precision, "bogus-mode")
