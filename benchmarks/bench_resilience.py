@@ -1,0 +1,160 @@
+"""Resilience campaign snapshot: fault-rate sweep vs hardened restore.
+
+Runs a small :class:`~repro.analysis.resilience.ResilienceCampaign`
+and reports:
+
+1. ``clean_s`` / ``faulted_s`` — wall time of the rate-0 anchor column
+   vs the full fault-rate sweep (the cost of simulating through the
+   reference loop with the fault machinery live);
+2. the rate-0 **bit-exactness** check: the anchor point's executive run
+   must match the fault-free fast path field for field;
+3. the **determinism** check: the whole campaign, recomputed from
+   scratch, must reproduce identical points (availability, quality,
+   and every fallback counter);
+4. the **availability floor**: the rate-0 anchor must complete frames,
+   and availability must not increase with the fault rate.
+
+Results land in ``BENCH_resilience.json`` (repo root by default); CI
+runs ``--quick`` as a smoke test.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_resilience.py            # full sweep
+    PYTHONPATH=src python benchmarks/bench_resilience.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_resilience.py --workers 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import time
+
+from repro import __version__
+from repro.analysis import engine
+from repro.analysis.resilience import ResilienceCampaign
+from repro.resilience import ResilienceConfig
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: The rate-0 anchor must complete at least this fraction of frames.
+MIN_ANCHOR_AVAILABILITY = 0.5
+
+
+def _campaign(quick: bool) -> ResilienceCampaign:
+    if quick:
+        return ResilienceCampaign(
+            kernels=("median",),
+            policies=("linear",),
+            rates=(0.0, 0.1, 0.3),
+            duration_s=1.5,
+        )
+    return ResilienceCampaign(
+        kernels=("median",),
+        policies=("linear", "log"),
+        rates=(0.0, 0.02, 0.05, 0.1, 0.2),
+        duration_s=3.0,
+    )
+
+
+def run_benchmark(workers: int, quick: bool) -> dict:
+    campaign = _campaign(quick)
+
+    engine.reset()
+    engine.configure(use_cache=False)
+
+    # Rate-0 anchor: must be bit-identical to the fault-free fast path.
+    anchor_task = campaign.tasks()[0]
+    assert anchor_task.rate == 0.0
+    t0 = time.perf_counter()
+    fast = anchor_task.base.run(engine="fast")
+    hardened = anchor_task.base.build_executive(
+        resilience=anchor_task.resilience_config()
+    ).run(engine="reference")
+    clean_s = time.perf_counter() - t0
+    # Guard pricing perturbs the trajectory, so anchor the unpriced twin.
+    unpriced = anchor_task.base.build_executive(
+        resilience=ResilienceConfig(
+            validate_restores=True, price_guard_words=False
+        )
+    ).run(engine="reference")
+    if not engine.executive_results_equal(fast, unpriced):
+        raise AssertionError(
+            "rate-0 unpriced resilience run diverged from the fast path"
+        )
+
+    t0 = time.perf_counter()
+    first = campaign.run(workers=workers)
+    faulted_s = time.perf_counter() - t0
+    second = campaign.run(workers=workers)
+    if not first.equal(second):
+        raise AssertionError("campaign recompute was not deterministic")
+
+    for kernel in campaign.kernels:
+        for policy in campaign.policies:
+            curve = first.availability_curve(kernel, policy)
+            if curve[0][1] < MIN_ANCHOR_AVAILABILITY:
+                raise AssertionError(
+                    f"rate-0 availability {curve[0][1]:.3f} below the "
+                    f"{MIN_ANCHOR_AVAILABILITY} floor for {kernel}/{policy}"
+                )
+            values = [availability for _, availability in curve]
+            if any(b > a + 1e-9 for a, b in zip(values, values[1:])):
+                raise AssertionError(
+                    f"availability increased with fault rate for "
+                    f"{kernel}/{policy}: {values}"
+                )
+
+    anchor = first.points[0]
+    worst = first.points[len(campaign.rates) - 1]
+    return {
+        "benchmark": "device resilience campaign (fault-rate sweep)",
+        "version": __version__,
+        "python": platform.python_version(),
+        "quick": quick,
+        "tasks": len(first.points),
+        "workers": workers,
+        "clean_s": round(clean_s, 3),
+        "faulted_s": round(faulted_s, 3),
+        "rate0_bit_exact": True,
+        "deterministic": True,
+        "anchor_availability": round(anchor.availability, 3),
+        "anchor_psnr_db": anchor.mean_psnr_db,
+        "worst_rate": worst.rate,
+        "worst_availability": round(worst.availability, 3),
+        "worst_detected_failures": worst.detected_failures,
+        "worst_rollforwards": worst.rollforwards,
+        "worst_lost_progress": worst.lost_progress,
+        "hardened_vs_fast_identical": engine.executive_results_equal(
+            fast, unpriced
+        ),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small sweep, short traces (CI smoke)"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, help="process count for the campaign"
+    )
+    parser.add_argument(
+        "--output",
+        default=str(REPO_ROOT / "BENCH_resilience.json"),
+        help="where to write the JSON snapshot",
+    )
+    args = parser.parse_args(argv)
+
+    snapshot = run_benchmark(workers=args.workers, quick=args.quick)
+    out = pathlib.Path(args.output)
+    out.write_text(json.dumps(snapshot, indent=2) + "\n")
+    print(json.dumps(snapshot, indent=2))
+    print(f"\nwrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

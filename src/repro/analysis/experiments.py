@@ -1308,3 +1308,74 @@ def fig28_seed_robustness(
         rows=rows,
         data={"gains": gains, "mean": mean, "std": std},
     )
+
+
+@_artifact("resilience")
+def resilience_campaign(
+    rates: Sequence[float] = (0.0, 0.05, 0.1, 0.2),
+    policies: Sequence[str] = ("linear", "log"),
+    kernel: str = "median",
+    duration_s: float = 3.0,
+) -> ExperimentResult:
+    """Quality and availability vs device fault rate.
+
+    An extension beyond the paper: the device fault model of
+    :mod:`repro.resilience` (torn backups, STT-RAM SEU flips, brownout
+    tails) is swept against the hardened restore path, and each
+    ``(kernel, policy, rate)`` point reports the availability (fraction
+    of arrived frames completed), the surviving PSNR, and the fallback
+    counters of the CRC-guarded restore chain. ``rate=0`` is the
+    bit-identical anchor against the fault-free executive.
+    """
+    from .resilience import ResilienceCampaign
+
+    campaign = ResilienceCampaign(
+        kernels=(kernel,),
+        policies=tuple(policies),
+        rates=tuple(float(r) for r in rates),
+        duration_s=duration_s,
+    )
+    result = campaign.run()
+    rows = [
+        (
+            point.policy,
+            f"{point.rate:.3f}",
+            f"{point.availability:.3f}",
+            "-" if point.mean_psnr_db is None else f"{point.mean_psnr_db:.2f}",
+            point.detected_failures,
+            point.fallback_previous,
+            point.rollforwards,
+            point.silent_corruptions,
+            point.brownouts,
+            point.lost_progress,
+        )
+        for point in result.points
+    ]
+    curves = {
+        policy: {
+            "availability": result.availability_curve(kernel, policy),
+            "quality": result.quality_curve(kernel, policy),
+        }
+        for policy in campaign.policies
+    }
+    return ExperimentResult(
+        experiment_id="resilience",
+        description=f"graceful degradation vs device fault rate ({kernel})",
+        headers=(
+            "policy",
+            "rate",
+            "avail",
+            "psnr_db",
+            "detected",
+            "fb_prev",
+            "rollfwd",
+            "silent",
+            "brownouts",
+            "lost",
+        ),
+        rows=rows,
+        data={
+            "points": [point.to_dict() for point in result.points],
+            "curves": curves,
+        },
+    )

@@ -74,7 +74,7 @@ class TaskTelemetry:
 class RunReport:
     """Aggregated telemetry for one grid run (one ``run`` event line)."""
 
-    kind: str  #: ``fixed`` | ``executive`` | ``trace``
+    kind: str  #: ``fixed`` | ``executive`` | ``trace`` | ``resilience``
     context: str = ""  #: artifact label, e.g. ``"fig15"``
     engine: str = "auto"
     workers: int = 1

@@ -9,6 +9,8 @@ Usage (also via ``python -m repro``):
     repro-experiments run all --workers 4  # ... across four processes
     repro-experiments run fig15 --cache-dir .cache   # warm across runs
     repro-experiments run fig15 --no-cache # force fresh simulations
+    repro-experiments resilience           # fault-rate sweep vs hardened restore
+    repro-experiments resilience --rates 0,0.1 --policies linear
     repro-experiments profiles             # Figure 2 trace summaries
     repro-experiments calibration          # the jointly-calibrated constants
     repro-experiments cache info --cache-dir .cache   # entry/byte/quarantine counts
@@ -22,9 +24,10 @@ engine (:mod:`repro.analysis.engine`) for the whole invocation;
 ``--task-timeout``/``--retries``/``--retry-backoff`` tune its fault
 tolerance, and ``--telemetry-log`` appends one JSONL event per grid
 run and per task (see :mod:`repro.analysis.telemetry`). The cache
-holds both fixed-bit and incidental-executive results (the latter
-under an ``exec-`` filename prefix); corrupt entries are quarantined
-into its ``quarantine/`` subdirectory, never silently dropped.
+holds fixed-bit and incidental-executive results plus resilience
+campaign points (``exec-`` / ``res-`` filename prefixes); corrupt
+entries are quarantined into its ``quarantine/`` subdirectory, never
+silently dropped.
 """
 
 from __future__ import annotations
@@ -62,6 +65,7 @@ EXPERIMENT_RUNNERS: Dict[str, Callable[[], "E.ExperimentResult"]] = {
     "table2": E.table2_qos,
     "fig28": E.fig28_overall_gain,
     "sec7": E.sec7_frame_rates,
+    "resilience": E.resilience_campaign,
 }
 
 
@@ -186,11 +190,51 @@ def _cmd_cache(action: str, cache_dir: Optional[str]) -> int:
         ("entries", info["entries"]),
         ("fixed-bit", info["fixed"]),
         ("executive", info["executive"]),
+        ("resilience", info["resilience"]),
         ("bytes", info["bytes"]),
         ("quarantined", info["quarantined"]),
         ("quarantine path", info["quarantine_path"]),
     ]
     print(format_table(("cache", "value"), rows))
+    return 0
+
+
+def _cmd_resilience(args: "argparse.Namespace") -> int:
+    """Run a device-resilience campaign with explicit sweep knobs."""
+    from .analysis.resilience import ResilienceCampaign
+
+    try:
+        campaign = ResilienceCampaign(
+            kernels=tuple(k for k in args.kernels.split(",") if k),
+            policies=tuple(p for p in args.policies.split(",") if p),
+            rates=tuple(float(r) for r in args.rates.split(",") if r),
+            duration_s=args.duration,
+            validate_restores=not args.no_validation,
+            price_guard_words=not args.no_guard_pricing,
+            seed=args.seed,
+            device_seed=args.device_seed,
+        )
+    except (ConfigurationError, ValueError) as exc:
+        print(
+            f"repro-experiments resilience: error: {exc}", file=sys.stderr
+        )
+        return 2
+    try:
+        result = campaign.run()
+    except ConfigurationError as exc:
+        # Task-level validation (policies, kernels, rate bounds) fires
+        # when the grid is enumerated, not at campaign construction.
+        print(
+            f"repro-experiments resilience: error: {exc}", file=sys.stderr
+        )
+        return 2
+    except EngineExecutionError as exc:
+        print(
+            f"repro-experiments resilience: error: campaign failed: {exc}",
+            file=sys.stderr,
+        )
+        return 1
+    print(result.as_table())
     return 0
 
 
@@ -273,53 +317,106 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list every artifact id")
+
+    def add_engine_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--workers",
+            type=int,
+            default=1,
+            metavar="N",
+            help="processes for experiment grids (default: 1, serial)",
+        )
+        p.add_argument(
+            "--cache-dir",
+            default=None,
+            metavar="DIR",
+            help="content-addressed on-disk result cache (reused across runs)",
+        )
+        p.add_argument(
+            "--no-cache",
+            action="store_true",
+            help="disable result caching (in-memory and on-disk)",
+        )
+        p.add_argument(
+            "--task-timeout",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="per-task timeout for pooled grids (0 disables; default: disabled)",
+        )
+        p.add_argument(
+            "--retries",
+            type=int,
+            default=None,
+            metavar="N",
+            help="re-attempts for a crashed/hung/corrupt task (default: 2)",
+        )
+        p.add_argument(
+            "--retry-backoff",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="base exponential backoff between retries (default: 0.05)",
+        )
+        p.add_argument(
+            "--telemetry-log",
+            default=None,
+            metavar="PATH",
+            help="append one JSONL event per grid run/task (see 'report')",
+        )
+
     run = sub.add_parser("run", help="regenerate artifacts")
     run.add_argument("artifacts", nargs="+", help="artifact ids, or 'all'")
-    run.add_argument(
-        "--workers",
-        type=int,
-        default=1,
-        metavar="N",
-        help="processes for experiment grids (default: 1, serial)",
+    add_engine_args(run)
+    res = sub.add_parser(
+        "resilience",
+        help="sweep device fault rates against the hardened restore path",
     )
-    run.add_argument(
-        "--cache-dir",
-        default=None,
-        metavar="DIR",
-        help="content-addressed on-disk result cache (reused across runs)",
+    res.add_argument(
+        "--rates",
+        default="0,0.05,0.1,0.2",
+        metavar="R1,R2,...",
+        help="fault-rate sweep values (default: 0,0.05,0.1,0.2)",
     )
-    run.add_argument(
-        "--no-cache",
+    res.add_argument(
+        "--policies",
+        default="linear,log",
+        metavar="P1,P2,...",
+        help="retention policies to sweep (default: linear,log)",
+    )
+    res.add_argument(
+        "--kernels",
+        default="median",
+        metavar="K1,K2,...",
+        help="kernels to sweep (default: median)",
+    )
+    res.add_argument(
+        "--duration",
+        type=float,
+        default=3.0,
+        metavar="SECONDS",
+        help="trace duration per point (default: 3.0)",
+    )
+    res.add_argument(
+        "--no-validation",
         action="store_true",
-        help="disable result caching (in-memory and on-disk)",
+        help="disable CRC guard-word validation on restore",
     )
-    run.add_argument(
-        "--task-timeout",
-        type=float,
-        default=None,
-        metavar="SECONDS",
-        help="per-task timeout for pooled grids (0 disables; default: disabled)",
+    res.add_argument(
+        "--no-guard-pricing",
+        action="store_true",
+        help="do not price guard words into backup energy",
     )
-    run.add_argument(
-        "--retries",
+    res.add_argument(
+        "--seed", type=int, default=0, help="executive seed (default: 0)"
+    )
+    res.add_argument(
+        "--device-seed",
         type=int,
-        default=None,
-        metavar="N",
-        help="re-attempts for a crashed/hung/corrupt task (default: 2)",
+        default=0,
+        help="device fault-stream seed (default: 0)",
     )
-    run.add_argument(
-        "--retry-backoff",
-        type=float,
-        default=None,
-        metavar="SECONDS",
-        help="base exponential backoff between retries (default: 0.05)",
-    )
-    run.add_argument(
-        "--telemetry-log",
-        default=None,
-        metavar="PATH",
-        help="append one JSONL event per grid run/task (see 'report')",
-    )
+    add_engine_args(res)
     sub.add_parser("profiles", help="summarise the five power profiles")
     sub.add_parser("calibration", help="print the calibrated constants")
     cache = sub.add_parser(
@@ -352,7 +449,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
-    if args.command == "run":
+    if args.command in ("run", "resilience"):
         try:
             engine.configure(
                 workers=args.workers,
@@ -364,8 +461,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
             telemetry.configure(args.telemetry_log)
         except (ConfigurationError, OSError) as exc:
-            print(f"repro-experiments run: error: {exc}", file=sys.stderr)
+            print(
+                f"repro-experiments {args.command}: error: {exc}",
+                file=sys.stderr,
+            )
             return 2
+        if args.command == "resilience":
+            return _cmd_resilience(args)
         return _cmd_run(args.artifacts)
     if args.command == "profiles":
         return _cmd_profiles()

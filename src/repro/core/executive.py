@@ -37,6 +37,7 @@ from ..kernels.base import ApproxContext
 from ..nvm.failures import RetentionFailureModel
 from ..nvp.isa import KERNEL_MIXES, DEFAULT_MIX
 from ..nvp.processor import NonvolatileProcessor
+from ..resilience import ResilienceConfig, RestoreOutcome
 from ..quality.metrics import mse as compute_mse
 from ..quality.metrics import psnr as compute_psnr
 from ..system.config import SystemConfig
@@ -167,6 +168,7 @@ class IncidentalExecutive(IncidentalAllocator):
         precise_backup: bool = False,
         recover_placement: str = "inner",
         seed: int = 0,
+        resilience: Optional[ResilienceConfig] = None,
     ) -> None:
         if not program.supports_incidental_execution:
             raise ConfigurationError(
@@ -208,6 +210,7 @@ class IncidentalExecutive(IncidentalAllocator):
             if self.precise_backup
             else program.retention_policy(time_scale=self.retention_time_scale),
             mix=mix,
+            resilience=resilience,
         )
         pragma = program.incidental
         control = ApproximationControlUnit(
@@ -404,6 +407,41 @@ class IncidentalExecutive(IncidentalAllocator):
             self._last_backup_tick = None
         # Roll-forward (or roll-back) happens at the next allocate().
 
+    def notify_degraded_restore(self, tick: int, outcome: RestoreOutcome) -> None:
+        """React to a degraded hardened restore (device resilience).
+
+        * ``silent`` — corrupted state was restored undetected: every
+          buffered frame's already-computed prefix is garbage, modeled
+          by re-scoring those elements at the 1-bit worst-case budget
+          (a quality hit with no availability hit).
+        * ``fallback_previous`` — the newest checkpoint failed its
+          guard; the most recent suspension loses the progress its
+          epoch covered and is recomputed from scratch (an availability
+          hit with quality preserved).
+        * ``rollforward`` — no checkpoint validated: every buffered
+          suspension is reset and execution rolls forward from the
+          newest input, which the incidental model makes safe.
+        """
+        if outcome.kind == "silent":
+            for entry in self.buffer:
+                done = int(entry.elements_done)
+                if done > 0:
+                    self.records[entry.frame_id].element_bits[:done] = 1
+            return
+        if outcome.kind == "fallback_previous":
+            targets = [max(self.buffer, key=lambda e: e.frame_id)] if self.buffer else []
+        elif outcome.kind == "rollforward":
+            targets = list(self.buffer)
+        else:
+            return
+        for entry in targets:
+            record = self.records[entry.frame_id]
+            record.element_bits[:] = 0
+            # The partial results are discarded, so decay exposures
+            # recorded against them no longer apply to the recompute.
+            record.exposures.clear()
+            self.buffer.update(entry, elements_done=0)
+
     # -- top level ----------------------------------------------------------------
 
     def run(self, engine: str = "reference") -> ExecutiveResult:
@@ -415,12 +453,17 @@ class IncidentalExecutive(IncidentalAllocator):
         :mod:`repro.core.fastexec` (results are identical by contract,
         enforced by ``tests/test_executive_equivalence.py``). Either
         way the executive is consumed: construct a fresh one per run.
+
+        With a device-resilience config attached the fast replay does
+        not model the fault/validation semantics, so ``"auto"`` and
+        ``"fast"`` route to the reference loop (bit-identical for a
+        rate-0 unpriced config, by the differential suite).
         """
         if engine not in ("auto", "fast", "reference"):
             raise SimulationError(
                 f"engine must be 'auto', 'fast' or 'reference', got {engine!r}"
             )
-        if engine != "reference":
+        if engine != "reference" and self.processor.resilience is None:
             from .fastexec import fast_executive_run
 
             return fast_executive_run(self)

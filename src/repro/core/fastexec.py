@@ -77,6 +77,15 @@ def fast_executive_run(executive) -> "ExecutiveResult":  # noqa: F821
     ex = executive
     cfg = ex.config
     proc = ex.processor
+    if proc.resilience is not None:
+        # The replay inlines the allocator and skips the restore-time
+        # validation chain, so device-fault semantics cannot be
+        # replicated here; IncidentalExecutive.run() routes resilience
+        # configs to the reference loop before reaching this point.
+        raise SimulationError(
+            "fast executive replay does not support device resilience; "
+            "run with engine='reference'"
+        )
     proc.reset_counters()
 
     samples = ex.trace.samples_uw

@@ -7,6 +7,17 @@ window: we count a *retention failure* for that bit, and on restore the
 stored value of that bit is randomised (a decayed magnetic cell reads
 back either polarity, so it flips with probability one half).
 
+The randomisation is *seeded, not free-running*: every decayed-bit draw
+comes from a PCG64 stream derived solely from the model's ``seed``
+argument, so the same seed replays the same corruption bit for bit.
+The executive quality replay relies on this — each frame's model is
+seeded ``seed + 7919 * (frame_id + 1)``
+(``repro.core.executive._FAILURE_SEED_STRIDE``), making the corruption
+of any frame a pure function of ``(frame_id, seed)``, independent of
+which other frames were scored before it. That purity is what lets
+frame scores be memoized and replayed from the result cache.
+``tests/test_nvm_failures.py`` pins the guarantee.
+
 Figure 22 of the paper reports 15-1200 retention-failure counts per
 bit, varying with policy and power profile; Figures 23-24 show that the
 resulting quality impact stays within the tolerance of approximable
@@ -29,10 +40,17 @@ __all__ = ["RetentionFailureModel", "FailureCounts", "count_retention_failures"]
 
 @dataclass(frozen=True)
 class FailureCounts:
-    """Per-bit retention-failure counts (index 0 = LSB)."""
+    """Per-bit retention-failure counts (index 0 = LSB).
+
+    ``seed`` records the subsampling seed the counts were produced
+    with (``None`` when every outage was counted and no randomness was
+    involved), so a Figure 22 row can be reproduced from its counts
+    object alone.
+    """
 
     policy_name: str
     per_bit: Tuple[int, ...]
+    seed: Optional[int] = None
 
     @property
     def total(self) -> int:
@@ -57,8 +75,11 @@ class RetentionFailureModel:
         flipped. Physically a fully decayed cell is random (0.5); a
         value below 0.5 models cells that only partially lose margin.
     seed:
-        Seed for the decay randomness; fixed per simulation run so
-        experiments are reproducible.
+        Seed for the decay randomness. The decay stream is a pure
+        function of this value: two models built with the same seed
+        corrupt identical inputs identically, which is what makes the
+        per-frame corruption of the executive replay reproducible
+        from ``(frame_id, seed)`` alone.
     """
 
     def __init__(
@@ -73,6 +94,7 @@ class RetentionFailureModel:
         self.decay_flip_probability = check_probability(
             decay_flip_probability, "decay_flip_probability", exc=NVMError
         )
+        self.seed = seed
         self._rng = np.random.default_rng(seed)
         self._retention_ticks = policy.retention_profile_ticks()
 
@@ -129,7 +151,10 @@ def count_retention_failures(
     Every outage follows one backup; each bit whose shaped retention is
     shorter than the outage contributes one failure. ``backup_fraction``
     subsamples outages for systems that do not approximate every backup
-    (e.g. only incidental-marked state uses shaped retention).
+    (e.g. only incidental-marked state uses shaped retention); the
+    subsample is drawn from ``seed`` (``None`` means seed 0), and the
+    seed actually used is recorded on the returned
+    :class:`FailureCounts` so the row is reproducible from its result.
 
     This reproduces the Figure 22 counting: per-bit failure totals per
     policy per power profile.
@@ -140,8 +165,10 @@ def count_retention_failures(
     durations = np.asarray(list(outage_durations_ticks), dtype=np.float64)
     if durations.size and durations.min() < 0:
         raise NVMError("outage durations must be non-negative")
+    used_seed: Optional[int] = None
     if fraction < 1.0 and durations.size:
-        rng = np.random.default_rng(0 if seed is None else seed)
+        used_seed = 0 if seed is None else seed
+        rng = np.random.default_rng(used_seed)
         keep = rng.random(durations.size) < fraction
         durations = durations[keep]
     retention = policy.retention_profile_ticks()
@@ -149,4 +176,6 @@ def count_retention_failures(
         int(np.count_nonzero(durations > retention[bit]))
         for bit in range(policy.word_bits)
     ]
-    return FailureCounts(policy_name=policy.name, per_bit=tuple(per_bit))
+    return FailureCounts(
+        policy_name=policy.name, per_bit=tuple(per_bit), seed=used_seed
+    )

@@ -23,12 +23,19 @@ __all__ = ["BackupRecord", "BackupEngine"]
 
 @dataclass(frozen=True)
 class BackupRecord:
-    """One completed backup event."""
+    """One backup event.
+
+    ``aborted`` marks a backup the device fault model interrupted
+    mid-write (a torn checkpoint): its energy was spent and it occupies
+    a backup slot in Figure-16-style counts, but the image it left in
+    NVM is not restorable.
+    """
 
     tick: int
     energy_uj: float
     state_bits: int
     policy_name: str
+    aborted: bool = False
 
 
 class BackupEngine:
@@ -47,6 +54,10 @@ class BackupEngine:
         Fraction of backed-up state covered by ``incidental`` pragmas
         and therefore eligible for shaped (cheap) writes. The PC,
         control state and non-marked data always persist precisely.
+    guard_bits:
+        CRC guard-word bits appended to every backup image by the
+        resilience subsystem; 0 (the default) prices no guards and
+        leaves every energy identical to the unguarded engine.
     """
 
     def __init__(
@@ -55,6 +66,7 @@ class BackupEngine:
         pipeline: PipelineModel,
         policy: Optional[RetentionPolicy] = None,
         approximable_fraction: float = 0.9,
+        guard_bits: int = 0,
     ) -> None:
         if not 0.0 <= approximable_fraction <= 1.0:
             raise ProcessorError("approximable_fraction must be in [0, 1]")
@@ -62,6 +74,9 @@ class BackupEngine:
         self.pipeline = pipeline
         self.policy = policy
         self.approximable_fraction = float(approximable_fraction)
+        self.guard_bits = check_int_in_range(
+            guard_bits, "guard_bits", 0, exc=ProcessorError
+        )
         self.backups: List[BackupRecord] = []
         self.restore_count = 0
         self.total_backup_energy_uj = 0.0
@@ -83,27 +98,44 @@ class BackupEngine:
         )
 
     def backup_energy_uj(self, lane_bits: Sequence[int]) -> float:
-        """Energy one backup will cost with the given live lane budgets."""
+        """Energy one backup will cost with the given live lane budgets.
+
+        When ``guard_bits`` is nonzero the CRC guard words are priced
+        in, scaled by their share of the persisted image.
+        """
         fraction = self.pipeline.state_fraction(lane_bits)
-        return (
+        energy = (
             self.energy_model.backup_base_uj
             * self._blended_policy_scale()
             * fraction
         )
+        if self.guard_bits:
+            energy *= 1.0 + self.energy_model.guard_overhead_fraction(
+                self.pipeline.state_bits(lane_bits), self.guard_bits
+            )
+        return energy
 
     def restore_energy_uj(self, lane_bits: Sequence[int]) -> float:
         """Energy one restore will cost."""
         fraction = self.pipeline.state_fraction(lane_bits)
         return self.energy_model.restore_energy_uj(state_fraction=fraction)
 
-    def record_backup(self, tick: int, lane_bits: Sequence[int]) -> BackupRecord:
-        """Log a completed backup at ``tick``; returns its record."""
+    def record_backup(
+        self, tick: int, lane_bits: Sequence[int], aborted: bool = False
+    ) -> BackupRecord:
+        """Log a backup at ``tick``; returns its record.
+
+        Aborted (torn) backups spend their full energy — the interrupt
+        lands mid-write, after the charge is committed — so only the
+        ``aborted`` flag distinguishes them.
+        """
         tick = check_int_in_range(tick, "tick", 0, exc=ProcessorError)
         record = BackupRecord(
             tick=tick,
             energy_uj=self.backup_energy_uj(lane_bits),
             state_bits=self.pipeline.state_bits(lane_bits),
             policy_name=self.policy_name,
+            aborted=bool(aborted),
         )
         self.backups.append(record)
         self.total_backup_energy_uj += record.energy_uj
@@ -118,5 +150,15 @@ class BackupEngine:
 
     @property
     def backup_count(self) -> int:
-        """Number of backups taken so far."""
+        """Number of backups taken so far (aborted ones included)."""
         return len(self.backups)
+
+    @property
+    def aborted_backup_count(self) -> int:
+        """Number of backups interrupted mid-write (torn checkpoints)."""
+        return sum(1 for record in self.backups if record.aborted)
+
+    @property
+    def completed_backup_count(self) -> int:
+        """Number of backups that finished writing their image."""
+        return len(self.backups) - self.aborted_backup_count

@@ -172,3 +172,14 @@ class EnergyModel:
         fraction = check_positive(state_fraction, "state_fraction")
         # Wake-up cost dominates; the read scales weakly with state.
         return self.restore_base_uj * (0.6 + 0.4 * fraction)
+
+    def guard_overhead_fraction(self, state_bits: int, guard_bits: int) -> float:
+        """Relative backup-energy increase from CRC guard words.
+
+        Guard words ride the same distributed write as the state they
+        protect, so their cost scales with their share of the persisted
+        image: ``guard_bits / state_bits``.
+        """
+        state = check_int_in_range(state_bits, "state_bits", 1)
+        guard = check_int_in_range(guard_bits, "guard_bits", 0)
+        return guard / state

@@ -18,6 +18,7 @@ import numpy as np
 from .._validation import check_int_in_range
 from ..errors import ProcessorError
 from ..nvm.retention import RetentionPolicy
+from ..resilience import DeviceResilience, ResilienceConfig
 from .backup import BackupEngine
 from .energy_model import CYCLES_PER_TICK, EnergyModel
 from .isa import DEFAULT_MIX, InstructionMix
@@ -40,6 +41,12 @@ class NonvolatileProcessor:
         Instruction mix of the running kernel (affects energy/instr).
     max_simd_width:
         Hardware lane limit (4 in the paper).
+    resilience:
+        Optional :class:`~repro.resilience.ResilienceConfig`; when
+        given, the processor owns a :class:`DeviceResilience` instance
+        that injects device faults into backups/restores and runs the
+        hardened fallback chain. ``None`` (the default) keeps the
+        idealized atomic-persistence behavior bit-identical.
     """
 
     def __init__(
@@ -48,13 +55,22 @@ class NonvolatileProcessor:
         policy: Optional[RetentionPolicy] = None,
         mix: InstructionMix = DEFAULT_MIX,
         max_simd_width: int = 4,
+        resilience: Optional[ResilienceConfig] = None,
     ) -> None:
         self.energy_model = energy_model if energy_model is not None else EnergyModel()
         self.pipeline = PipelineModel(word_bits=self.energy_model.word_bits)
         self.registers = MultiVersionRegisterFile(
             word_bits=self.energy_model.word_bits, versions=4
         )
-        self.backup_engine = BackupEngine(self.energy_model, self.pipeline, policy=policy)
+        self.resilience: Optional[DeviceResilience] = (
+            DeviceResilience(resilience) if resilience is not None else None
+        )
+        guard_bits = (
+            self.resilience.priced_guard_bits if self.resilience is not None else 0
+        )
+        self.backup_engine = BackupEngine(
+            self.energy_model, self.pipeline, policy=policy, guard_bits=guard_bits
+        )
         self.mix = mix
         self.max_simd_width = check_int_in_range(max_simd_width, "max_simd_width", 1, 4)
         # Committed instructions per lane slot.
@@ -114,14 +130,30 @@ class NonvolatileProcessor:
         self.run_energy_uj += power * 1.0e-4  # one tick = 1e-4 s
         self.run_ticks += 1
         self.pc = (self.pc + instructions_per_lane) & 0xFFFF
-        return instructions_per_lane * len(lanes)
+        committed = instructions_per_lane * len(lanes)
+        if self.resilience is not None:
+            self.resilience.note_executed(committed)
+        return committed
 
     # -- persistence ----------------------------------------------------------
 
     def backup(self, tick: int, lane_bits: Sequence[int]) -> float:
-        """Take a backup; returns its energy (µJ)."""
+        """Take a backup; returns its energy (µJ).
+
+        With a resilience model attached, the fault model decides
+        whether this backup tears mid-write; the record carries the
+        outcome and the checkpoint store receives the (possibly torn,
+        CRC-guarded) image the restore path will later validate.
+        """
         self._check_lanes(lane_bits)
-        record = self.backup_engine.record_backup(tick, lane_bits)
+        aborted = False
+        if self.resilience is not None:
+            aborted = self.resilience.on_backup(
+                tick, self.pipeline.state_bits(lane_bits)
+            )
+        record = self.backup_engine.record_backup(tick, lane_bits, aborted=aborted)
+        if self.resilience is not None:
+            self.resilience.note_guard_energy(record.energy_uj, record.state_bits)
         return record.energy_uj
 
     def restore(self, lane_bits: Sequence[int]) -> float:
@@ -151,6 +183,11 @@ class NonvolatileProcessor:
         """Backups taken so far."""
         return self.backup_engine.backup_count
 
+    @property
+    def aborted_backup_count(self) -> int:
+        """Backups interrupted mid-write so far."""
+        return self.backup_engine.aborted_backup_count
+
     def reset_counters(self) -> None:
         """Zero progress/energy counters (state sizing is untouched)."""
         self.committed_per_lane = [0, 0, 0, 0]
@@ -162,3 +199,5 @@ class NonvolatileProcessor:
         self.backup_engine.restore_count = 0
         self.backup_engine.total_backup_energy_uj = 0.0
         self.backup_engine.total_restore_energy_uj = 0.0
+        if self.resilience is not None:
+            self.resilience.reset()

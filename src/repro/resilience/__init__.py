@@ -1,0 +1,34 @@
+"""Device-level fault injection and graceful-degradation restore path.
+
+Where :mod:`repro.analysis.faults` hardens the *host-side* experiment
+engine, this package injects faults inside the *simulated device* and
+gives the architecture a hardened recovery path: a seeded deterministic
+:class:`DeviceFaultModel` (torn backups, STT-RAM SEU bit flips beyond
+retention decay, brownout tails), CRC-8 guard words over each
+checkpoint image, restore-time validation, and a newest → previous →
+roll-forward fallback chain with full per-run telemetry. See DESIGN.md
+"Device resilience".
+"""
+
+from .checkpoint import CRC8_POLY, Checkpoint, CheckpointStore, crc8
+from .model import DeviceFaultModel
+from .restore import (
+    OUTCOME_KINDS,
+    DeviceResilience,
+    ResilienceConfig,
+    ResilienceTelemetry,
+    RestoreOutcome,
+)
+
+__all__ = [
+    "CRC8_POLY",
+    "Checkpoint",
+    "CheckpointStore",
+    "crc8",
+    "DeviceFaultModel",
+    "OUTCOME_KINDS",
+    "DeviceResilience",
+    "ResilienceConfig",
+    "ResilienceTelemetry",
+    "RestoreOutcome",
+]

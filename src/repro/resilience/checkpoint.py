@@ -1,0 +1,137 @@
+"""CRC-guarded checkpoint images for the hardened restore path.
+
+The behavioral NVP does not simulate actual memory contents, so the
+checkpoints modeled here carry *synthetic* word images: a deterministic
+byte pattern derived from the backup tick and device seed, sized to the
+real backed-up state. That is enough to make fault detection physical —
+a torn tail or an SEU flip perturbs real bytes, and the CRC-8 guard
+word either catches it or (with the genuine 1/256 collision odds of an
+8-bit CRC) misses it — while keeping the simulation content-free.
+
+``CheckpointStore`` holds the newest checkpoints (two by default, the
+minimum for a newest → previous-valid fallback chain).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from .._validation import check_int_in_range
+from ..errors import SimulationError
+
+__all__ = ["crc8", "Checkpoint", "CheckpointStore", "CRC8_POLY"]
+
+#: Generator polynomial of the CRC-8 guard (x^8 + x^2 + x + 1).
+CRC8_POLY: int = 0x07
+
+
+def _build_crc8_table(poly: int) -> np.ndarray:
+    table = np.zeros(256, dtype=np.uint8)
+    for byte in range(256):
+        crc = byte
+        for _ in range(8):
+            crc = ((crc << 1) ^ poly) & 0xFF if crc & 0x80 else (crc << 1) & 0xFF
+        table[byte] = crc
+    return table
+
+
+_CRC8_TABLE = _build_crc8_table(CRC8_POLY)
+
+
+def crc8(words: np.ndarray) -> int:
+    """CRC-8 (poly 0x07, init 0) over a uint8 word array.
+
+    Detects all single-bit errors and all burst errors up to 8 bits;
+    longer corruption escapes detection with probability 1/256, which
+    is exactly the undetected-corruption channel the resilience
+    telemetry counts.
+    """
+    data = np.asarray(words, dtype=np.uint8)
+    crc = 0
+    for byte in data.tolist():
+        crc = int(_CRC8_TABLE[crc ^ byte])
+    return crc
+
+
+@dataclass
+class Checkpoint:
+    """One backed-up state image plus its guard word.
+
+    ``guard`` is computed at write time over the *intended* words, so a
+    torn tail (words overwritten after guarding) or later SEU flips
+    show up as a guard mismatch. ``corrupted`` is the ground-truth flag
+    the fault model sets — the simulator never reads it on the restore
+    path (only the guard is architecturally visible); telemetry uses it
+    to classify CRC collisions as undetected corruptions.
+    """
+
+    tick: int
+    state_bits: int
+    words: np.ndarray
+    guard: int
+    torn: bool = False
+    corrupted: bool = False
+    epoch_progress: int = 0
+    #: Last tick up to which SEU exposure has been applied.
+    exposed_until: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        self.exposed_until = max(self.exposed_until, self.tick)
+
+    @property
+    def n_bits(self) -> int:
+        """Stored image size in bits (guard word excluded)."""
+        return int(self.words.size) * 8
+
+    def validate(self) -> bool:
+        """Architectural validity check: does the guard word match?"""
+        return crc8(self.words) == self.guard
+
+    def apply_flips(self, positions: np.ndarray) -> None:
+        """XOR the given bit positions into the stored words."""
+        if positions.size == 0:
+            return
+        counts = np.bincount(positions % self.n_bits, minlength=self.n_bits)
+        odd = np.nonzero(counts & 1)[0]
+        if odd.size == 0:
+            return
+        np.bitwise_xor.at(
+            self.words, odd // 8, np.uint8(1) << (odd % 8).astype(np.uint8)
+        )
+        self.corrupted = True
+
+
+class CheckpointStore:
+    """Newest-first bounded store of checkpoints (fallback chain depth)."""
+
+    def __init__(self, capacity: int = 2) -> None:
+        self.capacity = check_int_in_range(
+            capacity, "capacity", 1, 16, exc=SimulationError
+        )
+        self._entries: List[Checkpoint] = []
+
+    def push(self, checkpoint: Checkpoint) -> None:
+        """Record a new checkpoint, evicting the oldest beyond capacity."""
+        self._entries.append(checkpoint)
+        if len(self._entries) > self.capacity:
+            del self._entries[0]
+
+    @property
+    def newest(self) -> Optional[Checkpoint]:
+        return self._entries[-1] if self._entries else None
+
+    @property
+    def previous(self) -> Optional[Checkpoint]:
+        return self._entries[-2] if len(self._entries) >= 2 else None
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[Checkpoint]:
+        return iter(self._entries)

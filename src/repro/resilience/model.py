@@ -1,0 +1,144 @@
+"""Seeded, deterministic device-level fault model.
+
+The experiment-engine harness (:mod:`repro.analysis.faults`) injects
+faults into *worker processes*; this module injects faults into the
+*simulated device*. Three hardware misbehaviors are modeled, matching
+the failure modes intermittent-computing systems guard against:
+
+* **torn backups** — a power emergency interrupts the distributed
+  backup mid-write, leaving a checkpoint whose tail words never made it
+  to NVM (Mementos-style incomplete checkpoints);
+* **SEU bit flips** — single-event upsets in STT-RAM beyond the
+  modeled retention decay, accumulating while a checkpoint sits
+  unpowered (rate is per bit per 0.1 ms tick of exposure);
+* **brownout tails** — windows after an outage during which the supply
+  is nominally back above the restore threshold but NVM writes silently
+  fail, so restore attempts burn energy without waking the device.
+
+Every draw is keyed by ``(seed, event, coordinates)`` through a SHA-256
+hash — like :class:`repro.analysis.faults.FaultPlan`'s ``(task,
+attempt)`` keying — so outcomes are a pure function of the simulation
+timeline and the seed, independent of draw order or interleaving. Two
+runs with the same seed see byte-identical fault sequences.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import check_int_in_range, check_non_negative, check_probability
+from ..errors import ConfigurationError
+
+__all__ = ["DeviceFaultModel"]
+
+_HASH_DENOM = float(1 << 64)
+
+
+def _event_digest(seed: int, event: str, *coords: int) -> bytes:
+    """Stable 32-byte digest for one (seed, event, coordinates) tuple."""
+    payload = ":".join([str(int(seed)), event, *[str(int(c)) for c in coords]])
+    return hashlib.sha256(payload.encode("ascii")).digest()
+
+
+@dataclass(frozen=True)
+class DeviceFaultModel:
+    """Deterministic per-event fault draws for the simulated NVP.
+
+    Parameters
+    ----------
+    torn_backup_rate:
+        Probability that any given backup is interrupted mid-write.
+    seu_rate:
+        Expected bit flips per stored bit per tick of unpowered
+        exposure (beyond modeled retention decay).
+    brownout_rate:
+        Probability that a restore-eligible tick opens a brownout
+        window during which restores silently fail.
+    brownout_ticks:
+        Length of one brownout window, in 0.1 ms ticks.
+    seed:
+        Root seed; all draws are keyed by ``(seed, event, coords)``.
+    """
+
+    torn_backup_rate: float = 0.0
+    seu_rate: float = 0.0
+    brownout_rate: float = 0.0
+    brownout_ticks: int = 200
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_probability(self.torn_backup_rate, "torn_backup_rate")
+        check_non_negative(self.seu_rate, "seu_rate")
+        if self.seu_rate > 1.0:
+            raise ConfigurationError(
+                f"seu_rate is a per-bit-tick probability, got {self.seu_rate!r}"
+            )
+        check_probability(self.brownout_rate, "brownout_rate")
+        check_int_in_range(self.brownout_ticks, "brownout_ticks", 1)
+        check_int_in_range(self.seed, "seed", 0)
+
+    @property
+    def active(self) -> bool:
+        """Whether any fault mechanism has a nonzero rate."""
+        return (
+            self.torn_backup_rate > 0.0
+            or self.seu_rate > 0.0
+            or self.brownout_rate > 0.0
+        )
+
+    # -- keyed draws ---------------------------------------------------
+
+    def uniform(self, event: str, *coords: int) -> float:
+        """Uniform [0, 1) draw keyed by ``(seed, event, coords)``."""
+        digest = _event_digest(self.seed, event, *coords)
+        return int.from_bytes(digest[:8], "big") / _HASH_DENOM
+
+    def rng(self, event: str, *coords: int) -> np.random.Generator:
+        """Keyed :class:`numpy.random.Generator` for bulk draws."""
+        digest = _event_digest(self.seed, event, *coords)
+        return np.random.default_rng(
+            np.frombuffer(digest[:16], dtype=np.uint64)
+        )
+
+    # -- fault mechanisms ----------------------------------------------
+
+    def torn_backup(self, tick: int) -> bool:
+        """Whether the backup taken at ``tick`` is interrupted mid-write."""
+        if self.torn_backup_rate <= 0.0:
+            return False
+        return self.uniform("torn-backup", tick) < self.torn_backup_rate
+
+    def brownout_begins(self, tick: int) -> bool:
+        """Whether a brownout window opens at this restore-eligible tick."""
+        if self.brownout_rate <= 0.0:
+            return False
+        return self.uniform("brownout", tick) < self.brownout_rate
+
+    def seu_flip_count(
+        self, backup_tick: int, start_tick: int, end_tick: int, n_bits: int
+    ) -> int:
+        """Bit flips a checkpoint accrues over one exposure window.
+
+        The window ``[start_tick, end_tick)`` covers ticks during which
+        the checkpoint written at ``backup_tick`` sat in NVM; draws are
+        keyed by the full coordinate triple so re-examining the same
+        window (e.g. across fallback attempts) repeats the same answer.
+        """
+        if self.seu_rate <= 0.0 or end_tick <= start_tick or n_bits <= 0:
+            return 0
+        trials = int(n_bits) * int(end_tick - start_tick)
+        rng = self.rng("seu", backup_tick, start_tick, end_tick)
+        return int(rng.binomial(trials, min(self.seu_rate, 1.0)))
+
+    def seu_flip_positions(
+        self, backup_tick: int, start_tick: int, end_tick: int, n_bits: int
+    ) -> np.ndarray:
+        """Bit positions flipped over the window (may repeat; XOR-safe)."""
+        count = self.seu_flip_count(backup_tick, start_tick, end_tick, n_bits)
+        if count == 0:
+            return np.zeros(0, dtype=np.int64)
+        rng = self.rng("seu-pos", backup_tick, start_tick, end_tick)
+        return rng.integers(0, n_bits, size=count, dtype=np.int64)

@@ -80,6 +80,13 @@ def fast_fixed_run(
     Equivalent to ``NVPSystemSimulator(trace, NonvolatileProcessor(...),
     FixedBitAllocator(bits, simd_width), config).run()`` — same results,
     same error behaviour — but typically 20-40x faster.
+
+    Device resilience is deliberately not modeled here: the vectorized
+    outage math assumes atomic backups and always-valid restores, so
+    :func:`repro.system.simulator.simulate_fixed_bits` routes any run
+    with a resilience config to the reference loop instead (for a
+    rate-0 unpriced config both are bit-identical, enforced by
+    ``tests/test_resilience_faults.py``).
     """
     cfg = config if config is not None else SystemConfig()
     proc = NonvolatileProcessor(policy=policy, mix=mix)

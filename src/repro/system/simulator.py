@@ -35,6 +35,7 @@ from ..errors import SimulationError
 from ..nvm.retention import RetentionPolicy
 from ..nvp.isa import DEFAULT_MIX, InstructionMix
 from ..nvp.processor import NonvolatileProcessor
+from ..resilience import ResilienceConfig, RestoreOutcome
 from .config import SystemConfig
 from .metrics import SimulationResult
 from .states import SystemState
@@ -84,6 +85,12 @@ class BitAllocator(ABC):
 
     def notify_executed(self, tick: int, lane_bits: List[int], instructions_per_lane: int) -> None:
         """Hook: a run tick completed with these lanes (stateful allocators)."""
+
+    def notify_degraded_restore(self, tick: int, outcome: RestoreOutcome) -> None:
+        """Hook: restore-time validation degraded (fallback/rollforward/
+        silent corruption). Stateful allocators discard or distrust the
+        progress the lost checkpoint epoch covered; the default is a
+        no-op because stateless allocators carry no resumable state."""
 
 
 class FixedBitAllocator(BitAllocator):
@@ -167,6 +174,7 @@ class NVPSystemSimulator:
         bit_schedule = np.zeros(n, dtype=np.int16)
         lane_schedule = np.zeros(n, dtype=np.int16)
         mix_weight = proc.mix.mean_energy_weight
+        resilience = proc.resilience
 
         for tick in range(n):
             if direct is not None and state is SystemState.RUN:
@@ -181,12 +189,27 @@ class NVPSystemSimulator:
                     # RESTORE occupies this tick.
                     lanes = self.allocator.start_lane_bits()
                     restore_cost = proc.restore_energy_uj(lanes)
+                    if resilience is not None and resilience.restore_blocked(tick):
+                        # Brownout tail: the NVM read/wake-up silently
+                        # fails. The attempt's energy is spent (which
+                        # naturally stretches the outage) but the
+                        # device stays OFF.
+                        cap.draw(restore_cost)
+                        resilience.telemetry.wasted_restore_energy_uj += restore_cost
+                        continue
                     if not cap.draw(restore_cost):
                         raise SimulationError(
                             "start threshold did not cover restore energy"
                         )
                     proc.restore(lanes)
+                    outcome = (
+                        resilience.on_restore(tick)
+                        if resilience is not None
+                        else None
+                    )
                     self.allocator.notify_restore(tick)
+                    if outcome is not None and outcome.degraded:
+                        self.allocator.notify_degraded_restore(tick, outcome)
                     state = SystemState.RUN
                     on_ticks += 1
                 continue
@@ -267,6 +290,7 @@ def simulate_fixed_bits(
     mix: InstructionMix = DEFAULT_MIX,
     config: Optional[SystemConfig] = None,
     engine: str = "auto",
+    resilience: Optional[ResilienceConfig] = None,
 ) -> SimulationResult:
     """Convenience: simulate a fixed-bitwidth NVP over ``trace``.
 
@@ -279,17 +303,24 @@ def simulate_fixed_bits(
     (the default — results are identical by contract, enforced by the
     differential suite); ``"reference"`` forces the per-tick loop of
     :class:`NVPSystemSimulator`.
+
+    ``resilience`` attaches a device fault model + hardened restore
+    path. The fast path does not replicate fault semantics, so any
+    resilience config routes to the reference loop (for a rate-0,
+    unpriced config the result is still bit-identical to the fast path
+    — the restore validation trivially passes — which the differential
+    suite in ``tests/test_resilience_faults.py`` enforces).
     """
     if engine not in ("auto", "fast", "reference"):
         raise SimulationError(
             f"engine must be 'auto', 'fast' or 'reference', got {engine!r}"
         )
-    if engine != "reference":
+    if engine != "reference" and resilience is None:
         from .fastsim import fast_fixed_run
 
         return fast_fixed_run(
             trace, bits, simd_width=simd_width, policy=policy, mix=mix, config=config
         )
-    processor = NonvolatileProcessor(policy=policy, mix=mix)
+    processor = NonvolatileProcessor(policy=policy, mix=mix, resilience=resilience)
     allocator = FixedBitAllocator(bits, simd_width=simd_width)
     return NVPSystemSimulator(trace, processor, allocator, config=config).run()
