@@ -1,0 +1,192 @@
+"""Observability overhead snapshot: the zero-overhead contract, measured.
+
+The tracer's off switch must be free in the way that matters: a run
+with the default :data:`~repro.obs.tracer.NULL_TRACER` may pay only for
+boolean guards and no-op phase context managers, never for event
+construction. Two numbers quantify that:
+
+1. ``disabled_overhead_bound`` — a *structural* bound, not a
+   differential timing (there is no uninstrumented build to diff
+   against, and run-to-run noise on a ~100 ms simulation dwarfs a
+   sub-percent effect). We microbenchmark the exact disabled-path
+   operations (``if tracer.enabled:`` guard, ``with tracer.phase():``
+   no-op context manager), count how often the fastsim path executes
+   each per run, and divide the summed cost by the measured disabled-run
+   median. The acceptance bar asserts this bound stays below 2 %.
+2. ``enabled_overhead`` — the measured slowdown of a fully traced
+   (``debug`` level) run over the disabled run, recorded for the
+   trajectory; tracing is allowed to cost something when you ask for it.
+
+The snapshot also re-verifies the differential contract (traced result
+bit-identical to untraced) so the overhead numbers can never come from
+a tracer that silently changed the simulation.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_obs.py            # full
+    PYTHONPATH=src python benchmarks/bench_obs.py --quick    # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import statistics
+import time
+
+from repro import __version__
+from repro.analysis.engine import FixedBitTask, simulation_results_equal
+from repro.obs.tracer import NULL_TRACER, Tracer
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULTS_DIR = REPO_ROOT / "benchmarks" / "results"
+
+#: Phase context managers entered per fast_fixed_run call
+#: (setup / precompute / replay / finalize).
+PHASES_PER_RUN = 4
+
+#: Boolean guards per power transition on the disabled fast path: the
+#: replay loop tests ``t_on`` once at the restore edge and once at the
+#: backup edge, and the backup engine tests ``tracer.enabled`` in
+#: ``record_backup``/``record_restore``.
+GUARDS_PER_TRANSITION = 4
+
+
+def _bench_task(quick: bool) -> FixedBitTask:
+    return FixedBitTask(
+        profile_id=1,
+        bits=6,
+        duration_s=2.0 if quick else 10.0,
+        simd_width=2,
+    )
+
+
+def _median_run_s(task: FixedBitTask, tracer, repeats: int) -> float:
+    timings = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        task.run(engine="fast", tracer=tracer)
+        timings.append(time.perf_counter() - t0)
+    return statistics.median(timings)
+
+
+def _guard_cost_s(iterations: int = 200_000) -> float:
+    """Median per-iteration cost of the ``if tracer.enabled:`` idiom."""
+    tracer = NULL_TRACER
+    timings = []
+    for _ in range(5):
+        t0 = time.perf_counter()
+        for _ in range(iterations):
+            if tracer.enabled:
+                raise AssertionError("NULL_TRACER must be disabled")
+        timings.append((time.perf_counter() - t0) / iterations)
+    return statistics.median(timings)
+
+
+def _phase_cost_s(iterations: int = 50_000) -> float:
+    """Median per-iteration cost of a no-op ``tracer.phase()`` block."""
+    tracer = NULL_TRACER
+    timings = []
+    for _ in range(5):
+        t0 = time.perf_counter()
+        for _ in range(iterations):
+            with tracer.phase("bench"):
+                pass
+        timings.append((time.perf_counter() - t0) / iterations)
+    return statistics.median(timings)
+
+
+def run_benchmark(quick: bool) -> dict:
+    task = _bench_task(quick)
+    task.build_trace()  # warm the trace memo outside the timed region
+    repeats = 5 if quick else 9
+
+    disabled_s = _median_run_s(task, None, repeats)
+    enabled_s = _median_run_s(task, Tracer("debug"), repeats)
+
+    # Differential re-verification: the timed traced run must not have
+    # changed the simulation.
+    untraced = task.run(engine="fast")
+    traced = task.run(engine="fast", tracer=Tracer("debug"))
+    if not simulation_results_equal(untraced, traced):
+        raise AssertionError("traced run diverged from the untraced run")
+
+    transitions = untraced.backup_count + untraced.restore_count
+    guards_per_run = transitions * GUARDS_PER_TRANSITION
+    guard_s = _guard_cost_s()
+    phase_s = _phase_cost_s()
+    structural_cost_s = guards_per_run * guard_s + PHASES_PER_RUN * phase_s
+    disabled_bound = structural_cost_s / disabled_s
+    enabled_overhead = enabled_s / disabled_s - 1.0
+
+    return {
+        "benchmark": "observability overhead (fastsim path)",
+        "version": __version__,
+        "python": platform.python_version(),
+        "quick": quick,
+        "duration_s": task.duration_s,
+        "disabled_run_s": round(disabled_s, 5),
+        "enabled_run_s": round(enabled_s, 5),
+        "enabled_overhead": round(enabled_overhead, 4),
+        "guard_cost_ns": round(guard_s * 1e9, 2),
+        "phase_cost_ns": round(phase_s * 1e9, 2),
+        "transitions": transitions,
+        "guards_per_run": guards_per_run,
+        "disabled_overhead_bound": round(disabled_bound, 6),
+        "bit_exact": True,
+    }
+
+
+def _summary_text(snapshot: dict) -> str:
+    return "\n".join(
+        [
+            "[obs-summary] observability overhead (fastsim path)",
+            f"disabled run: {snapshot['disabled_run_s'] * 1e3:.1f} ms "
+            f"(structural overhead bound "
+            f"{snapshot['disabled_overhead_bound'] * 100:.4f}% < 2%)",
+            f"enabled run (debug): {snapshot['enabled_run_s'] * 1e3:.1f} ms "
+            f"({snapshot['enabled_overhead'] * 100:.1f}% over disabled)",
+            f"guard cost: {snapshot['guard_cost_ns']:.1f} ns, "
+            f"phase cost: {snapshot['phase_cost_ns']:.1f} ns, "
+            f"{snapshot['guards_per_run']} guards/run",
+            "traced == untraced: bit-exact",
+        ]
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="short trace, fewer repeats (CI smoke)"
+    )
+    parser.add_argument(
+        "--output",
+        default=str(REPO_ROOT / "BENCH_obs.json"),
+        help="where to write the JSON snapshot",
+    )
+    args = parser.parse_args(argv)
+
+    snapshot = run_benchmark(quick=args.quick)
+    out = pathlib.Path(args.output)
+    out.write_text(json.dumps(snapshot, indent=2) + "\n")
+    print(json.dumps(snapshot, indent=2))
+    print(f"\nwrote {out}")
+
+    if RESULTS_DIR.is_dir():
+        summary = RESULTS_DIR / "obs-summary.txt"
+        summary.write_text(_summary_text(snapshot) + "\n")
+        print(f"wrote {summary}")
+
+    if snapshot["disabled_overhead_bound"] >= 0.02:
+        print(
+            "FAIL: disabled-tracer overhead bound "
+            f"{snapshot['disabled_overhead_bound']:.4f} breaches the 2% contract"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

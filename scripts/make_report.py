@@ -20,7 +20,7 @@ ORDER = [
     "fig27", "table2", "table2-jpeg-frames", "fig28", "fig28-robustness",
     "sec7", "ablation-mechanisms", "ablation-buffer",
     "ablation-retention-scale", "ablation-recover-placement",
-    "ablation-sources", "resilience",
+    "ablation-sources", "resilience", "obs-summary",
 ]
 
 

@@ -32,6 +32,7 @@ from ..core.executive import ExecutiveResult
 from ..errors import ConfigurationError
 from ..resilience import ResilienceConfig
 from . import faults, telemetry
+from ..obs import capture as obs_capture
 from .engine import (
     ENGINE_CACHE_VERSION,
     ExecutiveTask,
@@ -39,6 +40,8 @@ from .engine import (
     _CONFIG,
     _resolve_robustness,
     _run_robust,
+    _tracer_payload,
+    _worker_tracer,
     default_cache,
     derive_task_seed,
 )
@@ -110,7 +113,7 @@ class ResilienceTask:
             seed=self.device_seed,
         )
 
-    def run(self, engine: str = "reference") -> "ResiliencePoint":
+    def run(self, engine: str = "reference", tracer=None) -> "ResiliencePoint":
         """Simulate and reduce to a :class:`ResiliencePoint`.
 
         Resilience runs always execute the reference loop (the fast
@@ -118,7 +121,9 @@ class ResilienceTask:
         grid-runner symmetry and routes through
         :meth:`IncidentalExecutive.run`'s resilience fallback.
         """
-        executive = self.base.build_executive(resilience=self.resilience_config())
+        executive = self.base.build_executive(
+            resilience=self.resilience_config(), tracer=tracer
+        )
         result = executive.run(engine=engine)
         resilience = executive.processor.resilience
         assert resilience is not None  # attached two lines up
@@ -284,15 +289,19 @@ def corrupt_resilience_point(point: ResiliencePoint) -> ResiliencePoint:
 
 
 def _timed_run_resilience(
-    task: ResilienceTask, engine: str, spec: Optional[faults.FaultSpec]
-) -> Tuple[ResiliencePoint, float]:
+    task: ResilienceTask,
+    engine: str,
+    spec: Optional[faults.FaultSpec],
+    obs_level: Optional[str] = None,
+) -> Tuple[ResiliencePoint, float, Optional[Dict[str, object]]]:
     """Pool entry: fault application + worker-measured wall time."""
     start = time.perf_counter()
     faults.apply_pre_fault(spec)
-    point = task.run(engine=engine)
+    tracer = _worker_tracer(obs_level)
+    point = task.run(engine=engine, tracer=tracer)
     if spec is not None and spec.kind == "corrupt":
         point = corrupt_resilience_point(point)
-    return point, time.perf_counter() - start
+    return point, time.perf_counter() - start, _tracer_payload(tracer)
 
 
 def run_resilience_grid(
@@ -323,9 +332,13 @@ def run_resilience_grid(
     elif not use_cache:
         cache = None
 
+    # Resilience grids always carry a context label: runners inside a
+    # ``telemetry.context(...)`` block keep their artifact label (as the
+    # 21 experiment runners do), while direct CLI invocations fall back
+    # to "resilience" instead of an anonymous empty string.
     report = telemetry.RunReport(
         kind="resilience",
-        context=telemetry.current_context(),
+        context=telemetry.current_context() or "resilience",
         engine=engine,
         workers=settings.workers,
         n_tasks=len(tasks),
@@ -366,10 +379,13 @@ def run_resilience_grid(
 
     try:
         if pending:
+            obs_level = obs_capture.capture_level()
             computed = _run_robust(
                 pending,
                 worker_fn=_timed_run_resilience,
-                args_for=lambda index, spec: (tasks[index], engine, spec),
+                args_for=lambda index, spec: (
+                    tasks[index], engine, spec, obs_level
+                ),
                 label_for=lambda index: keys[index][:12],
                 validate=resilience_payload_error,
                 scope="resilience",

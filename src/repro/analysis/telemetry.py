@@ -65,9 +65,16 @@ class TaskTelemetry:
     timeouts: int = 0
     corrupt_payloads: int = 0
     executed_in: str = ""  #: ``pool`` | ``serial`` | ``degraded`` | ``""`` (cache hit)
+    #: Device-level metrics payload (``MetricsRegistry.to_dict`` form)
+    #: captured by an enabled tracer; empty when observability is off or
+    #: the task was served from a cache (cached results carry no trace).
+    metrics: Dict[str, object] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, object]:
-        return dataclasses.asdict(self)
+        out = dataclasses.asdict(self)
+        if not out.get("metrics"):
+            out.pop("metrics", None)
+        return out
 
 
 @dataclass
@@ -94,6 +101,9 @@ class RunReport:
     wall_s: float = 0.0
     started_at: float = 0.0
     tasks: List[TaskTelemetry] = field(default_factory=list)
+    #: Merged device metrics across the run's computed tasks (empty when
+    #: observability is off).
+    device_metrics: Dict[str, object] = field(default_factory=dict)
 
     def merge_task(self, task: TaskTelemetry) -> None:
         """Fold one task record into the aggregate counters."""
@@ -115,6 +125,8 @@ class RunReport:
         out = dataclasses.asdict(self)
         if not include_tasks:
             out.pop("tasks")
+        if not out.get("device_metrics"):
+            out.pop("device_metrics", None)
         return out
 
     @property

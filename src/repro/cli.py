@@ -18,6 +18,14 @@ Usage (also via ``python -m repro``):
     repro-experiments cache clear --cache-dir .cache  # drop all entries
     repro-experiments run all --telemetry-log run.jsonl  # record run telemetry
     repro-experiments report --log run.jsonl          # summarise a recorded campaign
+    repro-experiments run fig15 --trace-out trace.json --metrics-out metrics.json
+    repro-experiments trace summary trace.json        # top energy consumers + outages
+
+``--trace-out`` records a device-level trace of every *computed* task
+(cache hits carry no trace) as Chrome trace-event JSON — load it in
+chrome://tracing or https://ui.perfetto.dev — or as a raw JSONL event
+log when the path ends in ``.jsonl``. ``--metrics-out`` writes the
+merged device metrics registry (see :mod:`repro.obs`).
 
 ``--workers``/``--cache-dir``/``--no-cache`` configure the experiment
 engine (:mod:`repro.analysis.engine`) for the whole invocation;
@@ -40,6 +48,7 @@ from .analysis import engine, telemetry
 from .analysis import experiments as E
 from .analysis.reporting import format_table
 from .errors import ConfigurationError, EngineExecutionError
+from .obs import capture as obs_capture
 
 __all__ = ["main", "EXPERIMENT_RUNNERS"]
 
@@ -238,6 +247,19 @@ def _cmd_resilience(args: "argparse.Namespace") -> int:
     return 0
 
 
+def _cmd_trace_summary(trace_file: str, top: int) -> int:
+    """Print top-N energy consumers and outage statistics of a trace."""
+    from .obs.export import format_summary, read_trace, summarize_trace
+
+    try:
+        events = read_trace(trace_file)
+    except (ConfigurationError, OSError) as exc:
+        print(f"repro-experiments trace: error: {exc}", file=sys.stderr)
+        return 2
+    print(format_summary(summarize_trace(events, top=top)))
+    return 0
+
+
 def _cmd_report(log: str, limit: int) -> int:
     """Summarise a JSONL telemetry log (per-run rows plus totals)."""
     try:
@@ -306,6 +328,22 @@ def _cmd_report(log: str, limit: int) -> int:
             ],
         )
     )
+    from .obs.metrics import MetricsRegistry
+
+    merged = MetricsRegistry()
+    for event in runs:
+        merged.merge_dict(event.get("device_metrics") or {})
+    if not merged.is_empty():
+        rows = [
+            (name, round(float(value), 3))
+            for name, value in sorted(merged.counters.items())
+        ]
+        rows.extend(
+            (f"{name} (mean)", round(hist.mean, 3))
+            for name, hist in sorted(merged.histograms.items())
+        )
+        print()
+        print(format_table(("device metric", "value"), rows))
     return 0
 
 
@@ -363,6 +401,28 @@ def main(argv: Optional[List[str]] = None) -> int:
             default=None,
             metavar="PATH",
             help="append one JSONL event per grid run/task (see 'report')",
+        )
+        p.add_argument(
+            "--trace-out",
+            default=None,
+            metavar="PATH",
+            help=(
+                "record a device trace: Chrome trace-event JSON "
+                "(chrome://tracing / Perfetto), or a raw JSONL event log "
+                "if PATH ends in .jsonl"
+            ),
+        )
+        p.add_argument(
+            "--trace-level",
+            default="events",
+            choices=("spans", "events", "debug"),
+            help="tracer verbosity when tracing is armed (default: events)",
+        )
+        p.add_argument(
+            "--metrics-out",
+            default=None,
+            metavar="PATH",
+            help="write merged device metrics (counters/gauges/histograms) as JSON",
         )
 
     run = sub.add_parser("run", help="regenerate artifacts")
@@ -445,6 +505,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="N",
         help="show only the last N runs (default: all)",
     )
+    trace = sub.add_parser(
+        "trace", help="inspect a recorded device trace"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_summary = trace_sub.add_parser(
+        "summary",
+        help="top energy consumers and outage statistics of a trace file",
+    )
+    trace_summary.add_argument(
+        "trace_file",
+        metavar="FILE",
+        help="a --trace-out file (Chrome trace JSON or .jsonl event log)",
+    )
+    trace_summary.add_argument(
+        "--top",
+        type=int,
+        default=5,
+        metavar="N",
+        help="energy consumers to list (default: 5)",
+    )
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -460,15 +540,40 @@ def main(argv: Optional[List[str]] = None) -> int:
                 retry_backoff_s=args.retry_backoff,
             )
             telemetry.configure(args.telemetry_log)
+            obs_capture.configure(
+                trace_out=args.trace_out,
+                metrics_out=args.metrics_out,
+                level=args.trace_level,
+            )
         except (ConfigurationError, OSError) as exc:
             print(
                 f"repro-experiments {args.command}: error: {exc}",
                 file=sys.stderr,
             )
             return 2
-        if args.command == "resilience":
-            return _cmd_resilience(args)
-        return _cmd_run(args.artifacts)
+        try:
+            if args.command == "resilience":
+                rc = _cmd_resilience(args)
+            else:
+                rc = _cmd_run(args.artifacts)
+        finally:
+            # Flush whatever was captured even when the campaign failed
+            # part-way: a partial trace of a failed run is exactly what
+            # you want to look at.
+            try:
+                for path in obs_capture.flush():
+                    print(f"wrote {path}")
+            except OSError as exc:
+                print(
+                    f"repro-experiments {args.command}: error: "
+                    f"could not write trace/metrics output: {exc}",
+                    file=sys.stderr,
+                )
+                rc = 1
+            obs_capture.reset()
+        return rc
+    if args.command == "trace":
+        return _cmd_trace_summary(args.trace_file, args.top)
     if args.command == "profiles":
         return _cmd_profiles()
     if args.command == "cache":

@@ -37,6 +37,8 @@ from ..kernels.base import ApproxContext
 from ..nvm.failures import RetentionFailureModel
 from ..nvp.isa import KERNEL_MIXES, DEFAULT_MIX
 from ..nvp.processor import NonvolatileProcessor
+from ..obs.metrics import PSNR_DB_BUCKETS
+from ..obs.tracer import resolve_tracer
 from ..resilience import ResilienceConfig, RestoreOutcome
 from ..quality.metrics import mse as compute_mse
 from ..quality.metrics import psnr as compute_psnr
@@ -169,6 +171,7 @@ class IncidentalExecutive(IncidentalAllocator):
         recover_placement: str = "inner",
         seed: int = 0,
         resilience: Optional[ResilienceConfig] = None,
+        tracer=None,
     ) -> None:
         if not program.supports_incidental_execution:
             raise ConfigurationError(
@@ -205,12 +208,16 @@ class IncidentalExecutive(IncidentalAllocator):
         # pragma's policy (isolates the incidental-backup contribution).
         self.precise_backup = bool(precise_backup)
         mix = KERNEL_MIXES.get(program.kernel.name, DEFAULT_MIX)
+        # One tracer observes the whole stack: frame lifecycle here, the
+        # backup ledger in the processor, spans in the system simulator.
+        self.tracer = resolve_tracer(tracer)
         self.processor = NonvolatileProcessor(
             policy=None
             if self.precise_backup
             else program.retention_policy(time_scale=self.retention_time_scale),
             mix=mix,
             resilience=resilience,
+            tracer=tracer,
         )
         pragma = program.incidental
         control = ApproximationControlUnit(
@@ -279,6 +286,13 @@ class IncidentalExecutive(IncidentalAllocator):
                 )
             )
             self._unstarted.append(self._arrived)
+            if self.tracer.events:
+                self.tracer.instant(
+                    "frame.arrival",
+                    tick=self._arrived * self.frame_period_ticks,
+                    cat="executive",
+                    args={"frame_id": self._arrived},
+                )
             self._arrived += 1
 
     def _newest_unstarted(self) -> Optional[int]:
@@ -329,6 +343,13 @@ class IncidentalExecutive(IncidentalAllocator):
         )
         if self._current_done >= self.n_elements:
             record.completed_tick = tick
+            if self.tracer.events:
+                self.tracer.instant(
+                    "frame.completed",
+                    tick=tick,
+                    cat="executive",
+                    args={"frame_id": record.frame_id, "incidental": False},
+                )
             self._current = None
         for frame_id, bits in zip(self._lane_frames, lane_bits[1:]):
             done = self._lane_done.get(frame_id)
@@ -341,6 +362,13 @@ class IncidentalExecutive(IncidentalAllocator):
             if done >= self.n_elements:
                 lane_record.completed_tick = tick
                 lane_record.completed_incidentally = True
+                if self.tracer.events:
+                    self.tracer.instant(
+                        "frame.completed",
+                        tick=tick,
+                        cat="executive",
+                        args={"frame_id": frame_id, "incidental": True},
+                    )
                 entry = self._buffer_entry(frame_id)
                 if entry is not None:
                     self.buffer.remove(entry)
@@ -393,6 +421,13 @@ class IncidentalExecutive(IncidentalAllocator):
             )
             if evicted is not None:
                 self.records[evicted.frame_id].abandoned = True
+                if self.tracer.events:
+                    self.tracer.instant(
+                        "frame.abandoned",
+                        tick=tick,
+                        cat="executive",
+                        args={"frame_id": evicted.frame_id},
+                    )
         self._current = None
         self._current_done = 0.0
         self._last_backup_tick = tick
@@ -528,7 +563,7 @@ class IncidentalExecutive(IncidentalAllocator):
             if self.precise_backup or not apply_retention_decay
             else self.program.retention_policy(time_scale=self.retention_time_scale)
         )
-        return replay_frame_quality(
+        scores = replay_frame_quality(
             self.program.kernel,
             self.images,
             result.frames,
@@ -536,6 +571,23 @@ class IncidentalExecutive(IncidentalAllocator):
             seed=self.seed,
             min_coverage=min_coverage,
         )
+        tracer = self.tracer
+        if tracer.enabled:
+            for score in scores:
+                tracer.metrics.observe("frame.psnr_db", score.psnr_db, PSNR_DB_BUCKETS)
+                if tracer.events:
+                    tracer.instant(
+                        "frame.quality",
+                        tick=result.frames[score.frame_id].arrival_tick,
+                        cat="executive",
+                        args={
+                            "frame_id": score.frame_id,
+                            "psnr_db": score.psnr_db,
+                            "mean_bits": score.mean_bits,
+                            "incidental": score.completed_incidentally,
+                        },
+                    )
+        return scores
 
 
 # -- memoized post-hoc quality replay ------------------------------------------

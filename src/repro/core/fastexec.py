@@ -43,6 +43,14 @@ How the speed is won without changing a single rounding:
   exactly where the executive's observable state changes, so sharing
   them keeps every record identical by construction.
 
+Observability follows the fastsim discipline: spans are emitted only at
+the rare restore/backup transitions behind one hoisted bool, the only
+per-tick tracer cost is a single short-circuited bool test for
+lane-transition instants, and four ``tracer.phase`` hooks bracket the
+setup / precompute / replay / finalize sections. Tracing never writes
+simulated state, so traced runs stay bit-identical
+(``tests/test_obs_differential.py``).
+
 If you change the reference simulator, the capacitor model, the
 controller or the executive, change this file in lockstep and let the
 differential suite arbitrate.
@@ -59,7 +67,9 @@ from ..energy.management import derive_thresholds
 from ..energy.traces import TICK_S
 from ..errors import SimulationError
 from ..nvp.energy_model import CYCLES_PER_TICK
+from ..obs.metrics import OUTAGE_TICKS_BUCKETS
 from ..system.metrics import SimulationResult
+from ..system.simulator import _fold_run_metrics
 
 __all__ = ["fast_executive_run"]
 
@@ -77,6 +87,7 @@ def fast_executive_run(executive) -> "ExecutiveResult":  # noqa: F821
     ex = executive
     cfg = ex.config
     proc = ex.processor
+    trc = ex.tracer
     if proc.resilience is not None:
         # The replay inlines the allocator and skips the restore-time
         # validation chain, so device-fault semantics cannot be
@@ -86,128 +97,179 @@ def fast_executive_run(executive) -> "ExecutiveResult":  # noqa: F821
             "fast executive replay does not support device resilience; "
             "run with engine='reference'"
         )
-    proc.reset_counters()
+    with trc.phase("fastexec.setup"):
+        proc.reset_counters()
 
-    samples = ex.trace.samples_uw
-    frontend = cfg.build_frontend()
-    converted = frontend.convert_trace(samples)
-    direct = None
-    if isinstance(frontend, DualChannelFrontend):
-        direct = samples * frontend.bypass_efficiency
-        direct[samples < frontend.min_input_uw] = 0.0
-    n = len(samples)
+        samples = ex.trace.samples_uw
+        frontend = cfg.build_frontend()
+        converted = frontend.convert_trace(samples)
+        direct = None
+        if isinstance(frontend, DualChannelFrontend):
+            direct = samples * frontend.bypass_efficiency
+            direct[samples < frontend.min_input_uw] = 0.0
+        n = len(samples)
 
-    mix_weight = proc.mix.mean_energy_weight
-    start_lanes = ex.start_lane_bits()
-    thresholds = derive_thresholds(
-        backup_energy_uj=proc.backup_energy_uj(start_lanes),
-        restore_energy_uj=proc.restore_energy_uj(start_lanes),
-        run_power_uw=proc.run_power_uw(start_lanes) * mix_weight,
-        min_run_ticks=cfg.min_run_ticks,
-        backup_margin=cfg.backup_margin,
-    )
-    start_level = max(
-        thresholds.start_energy_uj,
-        cfg.start_fill_fraction * cfg.capacitor_uj,
-    )
-    if start_level > cfg.capacitor_uj:
-        raise SimulationError(
-            f"start level {start_level:.2f} uJ exceeds capacitor "
-            f"capacity {cfg.capacitor_uj:.2f} uJ; this configuration "
-            "can never start"
+        mix_weight = proc.mix.mean_energy_weight
+        start_lanes = ex.start_lane_bits()
+        thresholds = derive_thresholds(
+            backup_energy_uj=proc.backup_energy_uj(start_lanes),
+            restore_energy_uj=proc.restore_energy_uj(start_lanes),
+            run_power_uw=proc.run_power_uw(start_lanes) * mix_weight,
+            min_run_ticks=cfg.min_run_ticks,
+            backup_margin=cfg.backup_margin,
         )
+        start_level = max(
+            thresholds.start_energy_uj,
+            cfg.start_fill_fraction * cfg.capacitor_uj,
+        )
+        if start_level > cfg.capacitor_uj:
+            raise SimulationError(
+                f"start level {start_level:.2f} uJ exceeds capacitor "
+                f"capacity {cfg.capacitor_uj:.2f} uJ; this configuration "
+                "can never start"
+            )
 
-    # -- hoisted per-tick constants ------------------------------------
-    dt = TICK_S
-    capacity = float(cfg.capacitor_uj)
-    leak_frac = float(cfg.capacitor_leak_per_s)
-    floor_e = float(cfg.capacitor_leak_floor_uw) * dt
-    off_e = float(cfg.off_leakage_uw) * dt
-    margin_f = 1.0 + cfg.backup_margin
-    restore_cost = proc.restore_energy_uj(start_lanes)
-    instr_per_tick = CYCLES_PER_TICK / proc.mix.mean_cycles
+        # -- hoisted per-tick constants ------------------------------------
+        dt = TICK_S
+        capacity = float(cfg.capacitor_uj)
+        leak_frac = float(cfg.capacitor_leak_per_s)
+        floor_e = float(cfg.capacitor_leak_floor_uw) * dt
+        off_e = float(cfg.off_leakage_uw) * dt
+        margin_f = 1.0 + cfg.backup_margin
+        restore_cost = proc.restore_energy_uj(start_lanes)
+        instr_per_tick = CYCLES_PER_TICK / proc.mix.mean_cycles
 
-    # Allocator constants (ApproximationControlUnit / IncidentalAllocator).
-    control = ex.control
-    model = control.energy_model
-    backup_engine = proc.backup_engine
-    ac_enabled = control.ac_enabled
-    cap_alloc = ex.capacity_uj
-    comfort = control.comfort_fill * cap_alloc
-    reserve_level = control.reserve_fill * cap_alloc
-    horizon_denom = control.drawdown_horizon_ticks * 1.0e-4
-    cur_minb = ex.current_minbits
-    cur_maxb = ex.current_maxbits
-    lane_minb = ex.lane_minbits
-    lane_maxb = ex.lane_maxbits
-    max_pending = ex.max_width - 1
-    enable_simd = ex.enable_simd
-    period = ex.frame_period_ticks
-    buffer_entries = ex.buffer  # iterating yields ResumePoints
+        # Allocator constants (ApproximationControlUnit / IncidentalAllocator).
+        control = ex.control
+        model = control.energy_model
+        backup_engine = proc.backup_engine
+        ac_enabled = control.ac_enabled
+        cap_alloc = ex.capacity_uj
+        comfort = control.comfort_fill * cap_alloc
+        reserve_level = control.reserve_fill * cap_alloc
+        horizon_denom = control.drawdown_horizon_ticks * 1.0e-4
+        cur_minb = ex.current_minbits
+        cur_maxb = ex.current_maxbits
+        lane_minb = ex.lane_minbits
+        lane_maxb = ex.lane_maxbits
+        max_pending = ex.max_width - 1
+        enable_simd = ex.enable_simd
+        period = ex.frame_period_ticks
+        buffer_entries = ex.buffer  # iterating yields ResumePoints
 
-    # Memoized *raw* lane costs — pure functions of the lane tuple; the
-    # mix-weight / margin products are applied per use so the operation
-    # order (and therefore every rounding) matches the reference.
-    power_raw: Dict[Tuple[int, ...], float] = {}
-    backup_raw: Dict[Tuple[int, ...], float] = {}
+        # Memoized *raw* lane costs — pure functions of the lane tuple; the
+        # mix-weight / margin products are applied per use so the operation
+        # order (and therefore every rounding) matches the reference.
+        power_raw: Dict[Tuple[int, ...], float] = {}
+        backup_raw: Dict[Tuple[int, ...], float] = {}
 
-    def _p(lanes_t: Tuple[int, ...]) -> float:
-        value = power_raw.get(lanes_t)
-        if value is None:
-            value = model.run_power_uw(lanes_t)
-            power_raw[lanes_t] = value
-        return value
+        def _p(lanes_t: Tuple[int, ...]) -> float:
+            value = power_raw.get(lanes_t)
+            if value is None:
+                value = model.run_power_uw(lanes_t)
+                power_raw[lanes_t] = value
+            return value
 
-    def _b(lanes_t: Tuple[int, ...]) -> float:
-        value = backup_raw.get(lanes_t)
-        if value is None:
-            value = backup_engine.backup_energy_uj(lanes_t)
-            backup_raw[lanes_t] = value
-        return value
+        def _b(lanes_t: Tuple[int, ...]) -> float:
+            value = backup_raw.get(lanes_t)
+            if value is None:
+                value = backup_engine.backup_energy_uj(lanes_t)
+                backup_raw[lanes_t] = value
+            return value
 
-    # Current-lane cost table: bits_for_budget with no base lanes tests
-    # `run_power_uw([bits]) * mix_weight <= budget` (the `total - 0.0`
-    # of the reference is exact for any float).
-    cur_cost = {b: _p((b,)) * mix_weight for b in range(cur_minb, cur_maxb + 1)}
+        # Current-lane cost table: bits_for_budget with no base lanes tests
+        # `run_power_uw([bits]) * mix_weight <= budget` (the `total - 0.0`
+        # of the reference is exact for any float).
+        cur_cost = {b: _p((b,)) * mix_weight for b in range(cur_minb, cur_maxb + 1)}
 
-    # -- vectorized precomputation over the whole trace ----------------
-    # Sticky-zero predicate (see fastsim): starting a tick at e == 0.0,
-    # does the OFF tick end back at exactly 0.0?
-    inc0 = np.minimum(converted * dt, capacity)
-    loss0 = np.minimum(inc0, inc0 * leak_frac * dt + floor_e)
-    sticky = (inc0 - loss0) <= off_e
-    nonsticky_idx = np.flatnonzero(~sticky)
+    with trc.phase("fastexec.precompute"):
+        # -- vectorized precomputation over the whole trace ----------------
+        # Sticky-zero predicate (see fastsim): starting a tick at e == 0.0,
+        # does the OFF tick end back at exactly 0.0?
+        inc0 = np.minimum(converted * dt, capacity)
+        loss0 = np.minimum(inc0, inc0 * leak_frac * dt + floor_e)
+        sticky = (inc0 - loss0) <= off_e
+        nonsticky_idx = np.flatnonzero(~sticky)
 
-    conv_list = converted.tolist()
-    direct_list = direct.tolist() if direct is not None else None
-    sticky_list = sticky.tolist()
-    nonsticky_list = nonsticky_idx.tolist()
-    n_nonsticky = len(nonsticky_list)
-    searchsorted = np.searchsorted
+        conv_list = converted.tolist()
+        direct_list = direct.tolist() if direct is not None else None
+        sticky_list = sticky.tolist()
+        nonsticky_list = nonsticky_idx.tolist()
+        n_nonsticky = len(nonsticky_list)
+        searchsorted = np.searchsorted
 
-    # -- exact scalar replay -------------------------------------------
-    e = 0.0  # capacitor energy (uJ); starts empty like build_capacitor()
-    t = 0
-    running = False
-    on_ticks = 0
-    committed = [0, 0, 0, 0]
-    residue = 0.0
-    run_energy = 0.0
-    run_ticks = 0
-    run_tick_idx: List[int] = []
-    run_tick_bits: List[int] = []
-    run_tick_width: List[int] = []
-    backup_ticks: List[int] = []
+    with trc.phase("fastexec.replay"):
+        # -- exact scalar replay ---------------------------------------
+        # Tracer hooks: spans at the rare restore/backup transitions
+        # behind `t_on`; lane instants behind the `t_events` short-circuit.
+        t_on = trc.enabled
+        t_events = trc.events
+        outage_start = 0
+        run_start = 0
+        prev_lanes: List[int] = []
+        e = 0.0  # capacitor energy (uJ); starts empty like build_capacitor()
+        t = 0
+        running = False
+        on_ticks = 0
+        committed = [0, 0, 0, 0]
+        residue = 0.0
+        run_energy = 0.0
+        run_ticks = 0
+        run_tick_idx: List[int] = []
+        run_tick_bits: List[int] = []
+        run_tick_width: List[int] = []
+        backup_ticks: List[int] = []
 
-    while t < n:
-        if not running:
-            # OFF: charge from the storage channel, leak, off-drain,
-            # then restore if the start level is reached.
-            if e == 0.0 and sticky_list[t]:
-                j = int(searchsorted(nonsticky_idx, t))
-                t = nonsticky_list[j] if j < n_nonsticky else n
+        while t < n:
+            if not running:
+                # OFF: charge from the storage channel, leak, off-drain,
+                # then restore if the start level is reached.
+                if e == 0.0 and sticky_list[t]:
+                    j = int(searchsorted(nonsticky_idx, t))
+                    t = nonsticky_list[j] if j < n_nonsticky else n
+                    continue
+                c = conv_list[t]
+                if c > 0.0:
+                    incoming = c * dt
+                    room = capacity - e
+                    e += incoming if incoming < room else room
+                if e > 0.0:
+                    loss = e * leak_frac * dt + floor_e
+                    if loss > e:
+                        loss = e
+                    e -= loss
+                if e >= off_e:
+                    e -= off_e
+                else:
+                    e = 0.0
+                if e >= start_level:
+                    # RESTORE occupies this tick.
+                    if restore_cost > e + 1e-12:
+                        raise SimulationError(
+                            "start threshold did not cover restore energy"
+                        )
+                    e -= restore_cost
+                    if e < 0.0:
+                        e = 0.0
+                    if t_on:
+                        trc.tick = t
+                    proc.restore(start_lanes)
+                    ex.notify_restore(t)
+                    running = True
+                    on_ticks += 1
+                    if t_on:
+                        trc.span("outage", outage_start, t, cat="system")
+                        trc.metrics.observe(
+                            "outage.ticks", t - outage_start, OUTAGE_TICKS_BUCKETS
+                        )
+                        run_start = t
+                        prev_lanes = []
+                t += 1
                 continue
-            c = conv_list[t]
+
+            # RUN: charge (bypass channel when dual), leak, allocate, then
+            # either a power-emergency backup or one executed tick.
+            c = direct_list[t] if direct_list is not None else conv_list[t]
             if c > 0.0:
                 incoming = c * dt
                 room = capacity - e
@@ -217,182 +279,170 @@ def fast_executive_run(executive) -> "ExecutiveResult":  # noqa: F821
                 if loss > e:
                     loss = e
                 e -= loss
-            if e >= off_e:
-                e -= off_e
-            else:
-                e = 0.0
-            if e >= start_level:
-                # RESTORE occupies this tick.
-                if restore_cost > e + 1e-12:
-                    raise SimulationError(
-                        "start threshold did not cover restore energy"
-                    )
-                e -= restore_cost
-                if e < 0.0:
-                    e = 0.0
-                proc.restore(start_lanes)
-                ex.notify_restore(t)
-                running = True
-                on_ticks += 1
-            t += 1
-            continue
 
-        # RUN: charge (bypass channel when dual), leak, allocate, then
-        # either a power-emergency backup or one executed tick.
-        c = direct_list[t] if direct_list is not None else conv_list[t]
-        if c > 0.0:
-            incoming = c * dt
-            room = capacity - e
-            e += incoming if incoming < room else room
-        if e > 0.0:
-            loss = e * leak_frac * dt + floor_e
-            if loss > e:
-                loss = e
-            e -= loss
+            # -- IncidentalExecutive.allocate, inlined ----------------------
+            if ex._arrived * period <= t:
+                ex._advance_arrivals(t)
+            if ex._current is None:
+                ex._pick_current()
+            ex._idle = ex._current is None
+            buffered = [entry.frame_id for entry in buffer_entries]
+            n_buffered = len(buffered)
+            ex.pending_lanes = n_buffered if enable_simd else 0
 
-        # -- IncidentalExecutive.allocate, inlined ----------------------
-        if ex._arrived * period <= t:
-            ex._advance_arrivals(t)
-        if ex._current is None:
-            ex._pick_current()
-        ex._idle = ex._current is None
-        buffered = [entry.frame_id for entry in buffer_entries]
-        n_buffered = len(buffered)
-        ex.pending_lanes = n_buffered if enable_simd else 0
+            # ApproximationControlUnit.power_budget_uw
+            budget = c if c > 0.0 else 0.0
+            if e > comfort:
+                budget = budget + (e - comfort) / horizon_denom
+            elif e < reserve_level:
+                budget = 0.0
 
-        # ApproximationControlUnit.power_budget_uw
-        budget = c if c > 0.0 else 0.0
-        if e > comfort:
-            budget = budget + (e - comfort) / horizon_denom
-        elif e < reserve_level:
-            budget = 0.0
-
-        # Current-lane bits (bits_for_budget with no base lanes).
-        if not ac_enabled:
-            current = cur_maxb
-        else:
-            current = cur_minb
-            for bits in range(cur_maxb, cur_minb - 1, -1):
-                if cur_cost[bits] <= budget:
-                    current = bits
-                    break
-        lanes = [current]
-
-        # Incidental SIMD lanes: split the surplus fairly.
-        pending = n_buffered if enable_simd else 0
-        if pending > max_pending:
-            pending = max_pending
-        if e < reserve_level:
-            pending = 0
-        if pending:
-            current_power = _p((current,)) * mix_weight
-            share = budget - current_power
-            if share < 0.0:
-                share = 0.0
-            share = share / pending
+            # Current-lane bits (bits_for_budget with no base lanes).
             if not ac_enabled:
-                for _ in range(pending):
-                    lanes.append(lane_maxb)
+                current = cur_maxb
             else:
-                for _ in range(pending):
-                    base_t = tuple(lanes)
-                    base_power = _p(base_t) * mix_weight
-                    chosen = lane_minb
-                    for bits in range(lane_maxb, lane_minb - 1, -1):
-                        total = _p(base_t + (bits,)) * mix_weight
-                        if total - base_power <= share:
-                            chosen = bits
-                            break
-                    lanes.append(chosen)
+                current = cur_minb
+                for bits in range(cur_maxb, cur_minb - 1, -1):
+                    if cur_cost[bits] <= budget:
+                        current = bits
+                        break
+            lanes = [current]
 
-        # Newest suspended frames first (set before narrowing, exactly
-        # as the reference executive does).
-        ex._lane_frames = sorted(buffered, reverse=True)[: len(lanes) - 1]
+            # Incidental SIMD lanes: split the surplus fairly.
+            pending = n_buffered if enable_simd else 0
+            if pending > max_pending:
+                pending = max_pending
+            if e < reserve_level:
+                pending = 0
+            if pending:
+                current_power = _p((current,)) * mix_weight
+                share = budget - current_power
+                if share < 0.0:
+                    share = 0.0
+                share = share / pending
+                if not ac_enabled:
+                    for _ in range(pending):
+                        lanes.append(lane_maxb)
+                else:
+                    for _ in range(pending):
+                        base_t = tuple(lanes)
+                        base_power = _p(base_t) * mix_weight
+                        chosen = lane_minb
+                        for bits in range(lane_maxb, lane_minb - 1, -1):
+                            total = _p(base_t + (bits,)) * mix_weight
+                            if total - base_power <= share:
+                                chosen = bits
+                                break
+                        lanes.append(chosen)
 
-        # Reserve-driven lane narrowing (allow_lane_narrowing is True
-        # for every IncidentalAllocator).
-        lanes_t = tuple(lanes)
-        run_power = _p(lanes_t) * mix_weight
-        tick_energy = run_power * dt
-        reserve = _b(lanes_t) * margin_f
-        while len(lanes) > 1 and e - tick_energy < reserve:
-            lanes = lanes[:-1]
+            # Newest suspended frames first (set before narrowing, exactly
+            # as the reference executive does).
+            ex._lane_frames = sorted(buffered, reverse=True)[: len(lanes) - 1]
+
+            # Reserve-driven lane narrowing (allow_lane_narrowing is True
+            # for every IncidentalAllocator).
             lanes_t = tuple(lanes)
             run_power = _p(lanes_t) * mix_weight
             tick_energy = run_power * dt
             reserve = _b(lanes_t) * margin_f
+            while len(lanes) > 1 and e - tick_energy < reserve:
+                lanes = lanes[:-1]
+                lanes_t = tuple(lanes)
+                run_power = _p(lanes_t) * mix_weight
+                tick_energy = run_power * dt
+                reserve = _b(lanes_t) * margin_f
 
-        if e - tick_energy < reserve:
-            # Power emergency: back up with the reserved charge,
-            # narrowing the lane-0 budget if the charge fell short.
-            backup_lanes = list(lanes)
-            cost = _b(tuple(backup_lanes))
-            while backup_lanes[0] > 1 and cost > e:
-                backup_lanes[0] -= 1
+            if e - tick_energy < reserve:
+                # Power emergency: back up with the reserved charge,
+                # narrowing the lane-0 budget if the charge fell short.
+                backup_lanes = list(lanes)
                 cost = _b(tuple(backup_lanes))
-            if cost > e + 1e-12:
-                raise SimulationError("backup reserve was not available")
-            e -= cost
-            if e < 0.0:
-                e = 0.0
-            proc.backup(t, backup_lanes)
-            ex.notify_backup(t)
-            backup_ticks.append(t)
-            running = False
+                while backup_lanes[0] > 1 and cost > e:
+                    backup_lanes[0] -= 1
+                    cost = _b(tuple(backup_lanes))
+                if cost > e + 1e-12:
+                    raise SimulationError("backup reserve was not available")
+                e -= cost
+                if e < 0.0:
+                    e = 0.0
+                if t_on:
+                    trc.tick = t
+                proc.backup(t, backup_lanes)
+                ex.notify_backup(t)
+                backup_ticks.append(t)
+                running = False
+                on_ticks += 1
+                if t_on:
+                    trc.span("run", run_start, t, cat="system")
+                    outage_start = t
+                t += 1
+                continue
+
+            if tick_energy <= e:
+                e -= tick_energy
+            else:
+                raise SimulationError("run tick drained past available charge")
+            # execute_tick bookkeeping, inlined.
+            exact = instr_per_tick + residue
+            ipl = int(exact)
+            residue = exact - ipl
+            for i in range(len(lanes)):
+                committed[i] += ipl
+            run_energy += run_power * 1.0e-4
+            run_ticks += 1
+            ex.notify_executed(t, lanes, ipl)
+            run_tick_idx.append(t)
+            run_tick_bits.append(lanes[0])
+            run_tick_width.append(len(lanes))
             on_ticks += 1
             t += 1
-            continue
+            if t_events and lanes != prev_lanes:
+                trc.instant(
+                    "lanes",
+                    tick=t - 1,
+                    cat="system",
+                    args={"bits": list(lanes), "width": len(lanes)},
+                )
+                prev_lanes = lanes
 
-        if tick_energy <= e:
-            e -= tick_energy
-        else:
-            raise SimulationError("run tick drained past available charge")
-        # execute_tick bookkeeping, inlined.
-        exact = instr_per_tick + residue
-        ipl = int(exact)
-        residue = exact - ipl
-        for i in range(len(lanes)):
-            committed[i] += ipl
-        run_energy += run_power * 1.0e-4
-        run_ticks += 1
-        ex.notify_executed(t, lanes, ipl)
-        run_tick_idx.append(t)
-        run_tick_bits.append(lanes[0])
-        run_tick_width.append(len(lanes))
-        on_ticks += 1
-        t += 1
+    with trc.phase("fastexec.finalize"):
+        # Write the inlined execution counters back so the processor's
+        # ledger matches a reference run of the same trajectory.
+        proc.committed_per_lane = committed
+        proc.run_energy_uj = run_energy
+        proc.run_ticks = run_ticks
+        proc.pc = committed[0] & 0xFFFF
+        proc._instruction_residue = residue
 
-    # Write the inlined execution counters back so the processor's
-    # ledger matches a reference run of the same trajectory.
-    proc.committed_per_lane = committed
-    proc.run_energy_uj = run_energy
-    proc.run_ticks = run_ticks
-    proc.pc = committed[0] & 0xFFFF
-    proc._instruction_residue = residue
-
-    bit_schedule = np.zeros(n, dtype=np.int16)
-    lane_schedule = np.zeros(n, dtype=np.int16)
-    if run_tick_idx:
-        idx = np.asarray(run_tick_idx, dtype=np.intp)
-        bit_schedule[idx] = run_tick_bits
-        lane_schedule[idx] = run_tick_width
-    engine = proc.backup_engine
-    sim = SimulationResult(
-        total_ticks=n,
-        forward_progress=proc.forward_progress,
-        incidental_progress=proc.incidental_progress,
-        backup_count=engine.backup_count,
-        restore_count=engine.restore_count,
-        on_ticks=on_ticks,
-        income_energy_uj=ex.trace.total_energy_uj,
-        converted_energy_uj=float(converted.sum() * TICK_S),
-        run_energy_uj=run_energy,
-        backup_energy_uj=engine.total_backup_energy_uj,
-        restore_energy_uj=engine.total_restore_energy_uj,
-        bit_schedule=bit_schedule,
-        lane_schedule=lane_schedule,
-        backup_ticks=tuple(backup_ticks),
-    )
+        bit_schedule = np.zeros(n, dtype=np.int16)
+        lane_schedule = np.zeros(n, dtype=np.int16)
+        if run_tick_idx:
+            idx = np.asarray(run_tick_idx, dtype=np.intp)
+            bit_schedule[idx] = run_tick_bits
+            lane_schedule[idx] = run_tick_width
+        if t_on:
+            if running:
+                trc.span("run", run_start, n, cat="system")
+            else:
+                trc.span("outage", outage_start, n, cat="system")
+            _fold_run_metrics(trc, bit_schedule, lane_schedule, on_ticks, n)
+        engine = proc.backup_engine
+        sim = SimulationResult(
+            total_ticks=n,
+            forward_progress=proc.forward_progress,
+            incidental_progress=proc.incidental_progress,
+            backup_count=engine.backup_count,
+            restore_count=engine.restore_count,
+            on_ticks=on_ticks,
+            income_energy_uj=ex.trace.total_energy_uj,
+            converted_energy_uj=float(converted.sum() * TICK_S),
+            run_energy_uj=run_energy,
+            backup_energy_uj=engine.total_backup_energy_uj,
+            restore_energy_uj=engine.total_restore_energy_uj,
+            bit_schedule=bit_schedule,
+            lane_schedule=lane_schedule,
+            backup_ticks=tuple(backup_ticks),
+        )
     return ExecutiveResult(
         sim=sim,
         frames=tuple(ex.records),

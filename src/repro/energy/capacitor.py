@@ -23,6 +23,7 @@ import numpy as np
 
 from .._validation import check_in_range, check_non_negative, check_positive
 from ..errors import EnergyError
+from ..obs.tracer import NULL_TRACER
 from .traces import TICK_S
 
 __all__ = ["Capacitor", "StorageCapacitor"]
@@ -44,7 +45,13 @@ class Capacitor:
         Energy stored at construction time (defaults to empty).
     """
 
-    __slots__ = ("capacity_uj", "leakage_fraction_per_s", "leakage_floor_uw", "_energy")
+    __slots__ = (
+        "capacity_uj",
+        "leakage_fraction_per_s",
+        "leakage_floor_uw",
+        "_energy",
+        "_tracer",
+    )
 
     def __init__(
         self,
@@ -64,6 +71,12 @@ class Capacitor:
             initial_energy_uj, "initial_energy_uj", 0.0, self.capacity_uj, exc=EnergyError
         )
         self._energy = float(initial)
+        self._tracer = NULL_TRACER
+
+    def attach_tracer(self, tracer) -> None:
+        """Attach an observability tracer (the simulator does this once
+        per run); the default :data:`NULL_TRACER` makes every hook free."""
+        self._tracer = NULL_TRACER if tracer is None else tracer
 
     @property
     def energy_uj(self) -> float:
@@ -87,6 +100,8 @@ class Capacitor:
         incoming = power * dt
         accepted = min(incoming, self.capacity_uj - self._energy)
         self._energy += accepted
+        if self._tracer.enabled and incoming > accepted:
+            self._tracer.metrics.inc("cap.wasted_uj", incoming - accepted)
         return accepted
 
     def draw(self, energy_uj: float) -> bool:
@@ -113,7 +128,18 @@ class Capacitor:
         demand = power * dt
         met = min(demand, self._energy)
         self._energy -= met
-        return demand - met
+        shortfall = demand - met
+        if self._tracer.enabled and shortfall > 0.0:
+            self._tracer.metrics.inc("cap.shortfall_uj", shortfall)
+            # Per-tick instants only at debug level: a fully drained cap
+            # emits one shortfall every tick of a long outage.
+            if self._tracer.debug:
+                self._tracer.instant(
+                    "cap.brownout",
+                    cat="energy",
+                    args={"shortfall_uj": shortfall, "demand_uj": demand},
+                )
+        return shortfall
 
     def leak(self, dt_s: float = TICK_S) -> float:
         """Apply self-discharge for ``dt_s``; returns energy lost (µJ)."""
@@ -122,6 +148,8 @@ class Capacitor:
         floor = self.leakage_floor_uw * dt if self._energy > 0.0 else 0.0
         loss = min(self._energy, proportional + floor)
         self._energy -= loss
+        if self._tracer.enabled and loss > 0.0:
+            self._tracer.metrics.inc("cap.leak_uj", loss)
         return loss
 
     def reset(self, energy_uj: float = 0.0) -> None:

@@ -15,6 +15,8 @@ from typing import List, Optional, Sequence
 from .._validation import check_int_in_range
 from ..errors import ProcessorError
 from ..nvm.retention import RetentionPolicy
+from ..obs.metrics import BACKUP_ENERGY_BUCKETS
+from ..obs.tracer import NULL_TRACER
 from .energy_model import EnergyModel
 from .pipeline import PipelineModel
 
@@ -58,6 +60,10 @@ class BackupEngine:
         CRC guard-word bits appended to every backup image by the
         resilience subsystem; 0 (the default) prices no guards and
         leaves every energy identical to the unguarded engine.
+    tracer:
+        Observability tracer; ``None`` uses the free NULL_TRACER.
+        Instrumenting here, at the ledger, means backup/restore events
+        are identical whichever simulation engine drove the run.
     """
 
     def __init__(
@@ -67,6 +73,7 @@ class BackupEngine:
         policy: Optional[RetentionPolicy] = None,
         approximable_fraction: float = 0.9,
         guard_bits: int = 0,
+        tracer=None,
     ) -> None:
         if not 0.0 <= approximable_fraction <= 1.0:
             raise ProcessorError("approximable_fraction must be in [0, 1]")
@@ -77,6 +84,7 @@ class BackupEngine:
         self.guard_bits = check_int_in_range(
             guard_bits, "guard_bits", 0, exc=ProcessorError
         )
+        self.tracer = NULL_TRACER if tracer is None else tracer
         self.backups: List[BackupRecord] = []
         self.restore_count = 0
         self.total_backup_energy_uj = 0.0
@@ -139,6 +147,28 @@ class BackupEngine:
         )
         self.backups.append(record)
         self.total_backup_energy_uj += record.energy_uj
+        tracer = self.tracer
+        if tracer.enabled:
+            metrics = tracer.metrics
+            metrics.inc("backup.count")
+            metrics.inc("backup.energy_uj", record.energy_uj)
+            metrics.observe("backup.energy_uj", record.energy_uj, BACKUP_ENERGY_BUCKETS)
+            if record.aborted:
+                metrics.inc("backup.aborted")
+            if tracer.events:
+                tracer.instant(
+                    "backup",
+                    tick=tick,
+                    cat="nvp",
+                    args={
+                        "energy_uj": record.energy_uj,
+                        "state_bits": record.state_bits,
+                        "policy": record.policy_name,
+                        "aborted": record.aborted,
+                        "guard_bits": self.guard_bits,
+                        "lanes": list(lane_bits),
+                    },
+                )
         return record
 
     def record_restore(self, lane_bits: Sequence[int]) -> float:
@@ -146,6 +176,16 @@ class BackupEngine:
         energy = self.restore_energy_uj(lane_bits)
         self.restore_count += 1
         self.total_restore_energy_uj += energy
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.metrics.inc("restore.count")
+            tracer.metrics.inc("restore.energy_uj", energy)
+            if tracer.events:
+                tracer.instant(
+                    "restore",
+                    cat="nvp",
+                    args={"energy_uj": energy, "lanes": list(lane_bits)},
+                )
         return energy
 
     @property

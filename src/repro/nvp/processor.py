@@ -18,6 +18,7 @@ import numpy as np
 from .._validation import check_int_in_range
 from ..errors import ProcessorError
 from ..nvm.retention import RetentionPolicy
+from ..obs.tracer import NULL_TRACER
 from ..resilience import DeviceResilience, ResilienceConfig
 from .backup import BackupEngine
 from .energy_model import CYCLES_PER_TICK, EnergyModel
@@ -47,6 +48,10 @@ class NonvolatileProcessor:
         that injects device faults into backups/restores and runs the
         hardened fallback chain. ``None`` (the default) keeps the
         idealized atomic-persistence behavior bit-identical.
+    tracer:
+        Optional observability :class:`~repro.obs.Tracer`; threaded into
+        the backup engine and the resilience model. ``None`` (the
+        default) binds the free NULL_TRACER everywhere.
     """
 
     def __init__(
@@ -56,8 +61,10 @@ class NonvolatileProcessor:
         mix: InstructionMix = DEFAULT_MIX,
         max_simd_width: int = 4,
         resilience: Optional[ResilienceConfig] = None,
+        tracer=None,
     ) -> None:
         self.energy_model = energy_model if energy_model is not None else EnergyModel()
+        self.tracer = NULL_TRACER if tracer is None else tracer
         self.pipeline = PipelineModel(word_bits=self.energy_model.word_bits)
         self.registers = MultiVersionRegisterFile(
             word_bits=self.energy_model.word_bits, versions=4
@@ -65,11 +72,17 @@ class NonvolatileProcessor:
         self.resilience: Optional[DeviceResilience] = (
             DeviceResilience(resilience) if resilience is not None else None
         )
+        if self.resilience is not None:
+            self.resilience.tracer = self.tracer
         guard_bits = (
             self.resilience.priced_guard_bits if self.resilience is not None else 0
         )
         self.backup_engine = BackupEngine(
-            self.energy_model, self.pipeline, policy=policy, guard_bits=guard_bits
+            self.energy_model,
+            self.pipeline,
+            policy=policy,
+            guard_bits=guard_bits,
+            tracer=self.tracer,
         )
         self.mix = mix
         self.max_simd_width = check_int_in_range(max_simd_width, "max_simd_width", 1, 4)

@@ -1,0 +1,27 @@
+"""Device-level observability: tracer, metrics, exporters, capture.
+
+See DESIGN.md "Observability" for the event taxonomy and the overhead /
+bit-exactness contracts this package is held to.
+"""
+
+from .metrics import (
+    BACKUP_ENERGY_BUCKETS,
+    BITWIDTH_BUCKETS,
+    OUTAGE_TICKS_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+)
+from .tracer import NULL_TRACER, TRACE_LEVELS, NullTracer, Tracer, resolve_tracer
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "TRACE_LEVELS",
+    "resolve_tracer",
+    "MetricsRegistry",
+    "Histogram",
+    "BACKUP_ENERGY_BUCKETS",
+    "OUTAGE_TICKS_BUCKETS",
+    "BITWIDTH_BUCKETS",
+]

@@ -1,0 +1,125 @@
+"""Run-scoped trace/metrics capture for the CLIs and the engine.
+
+The experiment engine fans tasks out to a process pool; each worker
+builds its own :class:`~repro.obs.tracer.Tracer` and ships the payload
+back with the result. This module is the parent-side accumulator: the
+CLI calls :func:`configure` when ``--trace-out``/``--metrics-out`` are
+present, grid runners call :func:`capture_level` to decide whether to
+trace workers at all and :func:`collect` to fold accepted payloads in,
+and the CLI calls :func:`flush` at exit to write the exporter files.
+
+Like :mod:`repro.analysis.telemetry`, state is module-global and reset
+between runs/tests with :func:`reset`. When capture is inactive,
+``capture_level()`` is ``None`` and the engine skips tracer construction
+entirely, preserving the zero-overhead contract end to end.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, List, Mapping, Optional
+
+from .._validation import check_choice
+from .export import write_chrome_trace, write_jsonl
+from .metrics import MetricsRegistry
+from .tracer import TRACE_LEVELS
+
+__all__ = [
+    "configure",
+    "active",
+    "capture_level",
+    "collect",
+    "collected_records",
+    "merged_metrics",
+    "flush",
+    "reset",
+]
+
+_trace_out: Optional[pathlib.Path] = None
+_metrics_out: Optional[pathlib.Path] = None
+_level: Optional[str] = None
+_records: Dict[str, List[dict]] = {}
+_metrics = MetricsRegistry()
+_dropped = 0
+
+
+def configure(
+    trace_out: Optional[object] = None,
+    metrics_out: Optional[object] = None,
+    level: str = "events",
+) -> None:
+    """Arm capture for the coming run. A no-op if neither output is set."""
+    global _trace_out, _metrics_out, _level
+    reset()
+    if trace_out is None and metrics_out is None:
+        return
+    check_choice(level, "trace level", tuple(l for l in TRACE_LEVELS if l != "off"))
+    _trace_out = pathlib.Path(trace_out) if trace_out is not None else None
+    _metrics_out = pathlib.Path(metrics_out) if metrics_out is not None else None
+    _level = level
+
+
+def active() -> bool:
+    return _level is not None
+
+
+def capture_level() -> Optional[str]:
+    """Trace level workers should run at, or ``None`` when inactive."""
+    return _level
+
+
+def collect(label: str, payload: Optional[Mapping[str, object]]) -> None:
+    """Fold one worker's tracer payload into the run-wide capture."""
+    global _dropped
+    if _level is None or not payload:
+        return
+    records = payload.get("records") or []
+    if records:
+        _records.setdefault(str(label), []).extend(records)
+    _metrics.merge_dict(payload.get("metrics") or {})
+    _dropped += int(payload.get("dropped", 0) or 0)
+
+
+def collected_records() -> Dict[str, List[dict]]:
+    return _records
+
+
+def merged_metrics() -> MetricsRegistry:
+    return _metrics
+
+
+def flush() -> List[pathlib.Path]:
+    """Write configured outputs and return the paths actually written.
+
+    The trace file is Chrome trace-event JSON unless the path ends in
+    ``.jsonl`` (then the raw event log is written); the metrics file is
+    the merged registry as JSON.
+    """
+    import json
+
+    written: List[pathlib.Path] = []
+    if _level is None:
+        return written
+    if _trace_out is not None:
+        if _trace_out.suffix == ".jsonl":
+            written.append(write_jsonl(_trace_out, _records))
+        else:
+            written.append(write_chrome_trace(_trace_out, _records))
+    if _metrics_out is not None:
+        _metrics_out.parent.mkdir(parents=True, exist_ok=True)
+        payload = _metrics.to_dict()
+        payload["dropped_events"] = _dropped
+        _metrics_out.write_text(json.dumps(payload, sort_keys=True, indent=2))
+        written.append(_metrics_out)
+    return written
+
+
+def reset() -> None:
+    """Disarm capture and drop accumulated state (used between tests)."""
+    global _trace_out, _metrics_out, _level, _records, _metrics, _dropped
+    _trace_out = None
+    _metrics_out = None
+    _level = None
+    _records = {}
+    _metrics = MetricsRegistry()
+    _dropped = 0

@@ -1,0 +1,190 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+One :class:`MetricsRegistry` accompanies each :class:`~repro.obs.tracer.
+Tracer` and accumulates device-level aggregates for a run — backup
+energy totals, lane-bitwidth distributions, outage-duration histograms.
+Registries serialize to plain dicts (to cross process-pool boundaries
+inside engine workers) and merge associatively, so per-task metrics from
+a grid collapse into one per-run view in the same way
+``ResiliencePoint.reduce`` folds per-trace results.
+
+Histograms use *fixed* bucket bounds declared at creation time: merging
+is only defined between histograms with identical bounds, which keeps
+the merge exact (no re-binning, no approximation). Canonical bound sets
+for the quantities the device instrumentation records are exported as
+module constants.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from .._validation import require
+from ..errors import ConfigurationError
+
+__all__ = [
+    "Histogram",
+    "MetricsRegistry",
+    "BACKUP_ENERGY_BUCKETS",
+    "OUTAGE_TICKS_BUCKETS",
+    "BITWIDTH_BUCKETS",
+    "PSNR_DB_BUCKETS",
+]
+
+#: Backup-event energies in µJ. Typical completed backups land in the
+#: 0.1–10 µJ decades; the open top bucket catches widest-image outliers.
+BACKUP_ENERGY_BUCKETS = (0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0)
+
+#: Outage durations in ticks (0.1 ms each): 10 ms .. 10 s decades.
+OUTAGE_TICKS_BUCKETS = (100, 500, 1_000, 5_000, 10_000, 50_000, 100_000)
+
+#: Lane bitwidths; one bucket per width 1..8 (bound b holds values <= b).
+BITWIDTH_BUCKETS = (1, 2, 3, 4, 5, 6, 7, 8)
+
+#: Frame PSNR scores in dB (the paper's quality axis spans ~10-50 dB).
+PSNR_DB_BUCKETS = (10.0, 15.0, 20.0, 25.0, 30.0, 35.0, 40.0, 50.0)
+
+
+@dataclass
+class Histogram:
+    """Fixed-bound histogram: ``counts[i]`` holds values <= ``bounds[i]``,
+    with one extra overflow bucket for values above the last bound."""
+
+    bounds: Sequence[float]
+    counts: List[int] = field(default_factory=list)
+    sum: float = 0.0
+    count: int = 0
+
+    def __post_init__(self) -> None:
+        bounds = tuple(float(b) for b in self.bounds)
+        require(len(bounds) >= 1, "histogram bounds must be non-empty")
+        require(
+            all(a < b for a, b in zip(bounds, bounds[1:])),
+            "histogram bounds must be strictly increasing",
+        )
+        self.bounds = bounds
+        if not self.counts:
+            self.counts = [0] * (len(bounds) + 1)
+        require(
+            len(self.counts) == len(bounds) + 1,
+            "histogram counts must have len(bounds) + 1 buckets",
+        )
+
+    def observe(self, value: float, n: int = 1) -> None:
+        """Add ``n`` observations of ``value``."""
+        value = float(value)
+        self.counts[bisect_right(self.bounds, value)] += n
+        self.sum += value * n
+        self.count += n
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        if tuple(other.bounds) != tuple(self.bounds):
+            raise ConfigurationError(
+                "cannot merge histograms with different bucket bounds: "
+                f"{tuple(self.bounds)} vs {tuple(other.bounds)}"
+            )
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.sum += other.sum
+        self.count += other.count
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "Histogram":
+        return cls(
+            bounds=payload["bounds"],
+            counts=list(payload["counts"]),
+            sum=float(payload["sum"]),
+            count=int(payload["count"]),
+        )
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms for one run (or one merge).
+
+    * **counters** accumulate (``inc``); merging sums them.
+    * **gauges** hold last-written values (``set_gauge``); merging keeps
+      the incoming value — gauges are per-run facts (e.g. on-fraction),
+      and callers that need distributions should use histograms instead.
+    * **histograms** observe values into fixed buckets; merging requires
+      identical bounds and adds bucket-wise.
+    """
+
+    __slots__ = ("counters", "gauges", "histograms")
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def inc(self, name: str, value: float = 1.0) -> None:
+        self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = float(value)
+
+    def histogram(self, name: str, bounds: Sequence[float]) -> Histogram:
+        """Get or create the named histogram (bounds fixed on creation)."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = Histogram(bounds=bounds)
+            self.histograms[name] = hist
+        return hist
+
+    def observe(self, name: str, value: float, bounds: Sequence[float]) -> None:
+        self.histogram(name, bounds).observe(value)
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        for name, value in other.counters.items():
+            self.inc(name, value)
+        for name, value in other.gauges.items():
+            self.set_gauge(name, value)
+        for name, hist in other.histograms.items():
+            mine = self.histograms.get(name)
+            if mine is None:
+                self.histograms[name] = Histogram.from_dict(hist.to_dict())
+            else:
+                mine.merge(hist)
+
+    def merge_dict(self, payload: Dict[str, object]) -> None:
+        """Merge a :meth:`to_dict` payload (the cross-process form)."""
+        if not payload:
+            return
+        self.merge(MetricsRegistry.from_dict(payload))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "histograms": {
+                name: hist.to_dict()
+                for name, hist in sorted(self.histograms.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "MetricsRegistry":
+        registry = cls()
+        if not payload:
+            return registry
+        registry.counters.update(payload.get("counters", {}))
+        registry.gauges.update(payload.get("gauges", {}))
+        for name, hist in payload.get("histograms", {}).items():
+            registry.histograms[name] = Histogram.from_dict(hist)
+        return registry
+
+    def is_empty(self) -> bool:
+        return not (self.counters or self.gauges or self.histograms)

@@ -29,6 +29,7 @@ import numpy as np
 
 from .._validation import check_choice, check_int_in_range
 from ..errors import SimulationError
+from ..obs.tracer import NULL_TRACER
 from .checkpoint import Checkpoint, CheckpointStore, crc8
 from .model import DeviceFaultModel
 
@@ -165,6 +166,9 @@ class DeviceResilience:
         self.model = config.build_fault_model()
         self.store = CheckpointStore(capacity=config.checkpoint_depth)
         self.telemetry = ResilienceTelemetry()
+        #: Observability tracer; the owning processor overwrites this
+        #: with its own tracer right after construction.
+        self.tracer = NULL_TRACER
         self._epoch_progress = 0
         self._brownout_until = -1
 
@@ -214,6 +218,13 @@ class DeviceResilience:
         torn = self.model.torn_backup(tick)
         if torn:
             tel.torn_backups += 1
+            if self.tracer.events:
+                self.tracer.instant(
+                    "resilience.torn_backup",
+                    tick=tick,
+                    cat="resilience",
+                    args={"state_bits": int(state_bits)},
+                )
             tail = max(1, n_words // 3)
             words[-tail:] = self.model.rng("torn-tail", tick).integers(
                 0, 256, size=tail, dtype=np.uint8
@@ -244,11 +255,21 @@ class DeviceResilience:
             return False
         if tick < self._brownout_until:
             self.telemetry.blocked_restores += 1
+            if self.tracer.enabled:
+                self.tracer.metrics.inc("resilience.blocked_restores")
             return True
         if self.model.brownout_begins(tick):
             self._brownout_until = tick + self.model.brownout_ticks
             self.telemetry.brownouts += 1
             self.telemetry.blocked_restores += 1
+            if self.tracer.enabled:
+                self.tracer.metrics.inc("resilience.blocked_restores")
+                self.tracer.span(
+                    "resilience.brownout",
+                    tick,
+                    self._brownout_until,
+                    cat="resilience",
+                )
             return True
         return False
 
@@ -262,10 +283,35 @@ class DeviceResilience:
         checkpoint.exposed_until = tick
         if positions.size:
             self.telemetry.seu_flips += int(positions.size)
+            if self.tracer.events:
+                self.tracer.instant(
+                    "resilience.seu_flips",
+                    tick=tick,
+                    cat="resilience",
+                    args={"flips": int(positions.size), "checkpoint_tick": checkpoint.tick},
+                )
             checkpoint.apply_flips(positions)
 
     def on_restore(self, tick: int) -> RestoreOutcome:
         """Run the fallback chain for the restore completing at ``tick``."""
+        outcome = self._resolve_restore(tick)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.metrics.inc(f"resilience.restore.{outcome.kind}")
+            if tracer.events and outcome.kind != "ok":
+                tracer.instant(
+                    "resilience.restore_outcome",
+                    tick=tick,
+                    cat="resilience",
+                    args={
+                        "kind": outcome.kind,
+                        "checkpoint_tick": outcome.checkpoint_tick,
+                        "lost_progress": outcome.lost_progress,
+                    },
+                )
+        return outcome
+
+    def _resolve_restore(self, tick: int) -> RestoreOutcome:
         tel = self.telemetry
         tel.restores += 1
         newest = self.store.newest

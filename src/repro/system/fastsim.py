@@ -40,6 +40,15 @@ How the speed is won without changing a single rounding:
   :class:`NonvolatileProcessor` bookkeeping calls — they are rare, and
   sharing them with the reference keeps the energy ledgers identical.
 
+Observability rides along under the same discipline: the hot replay
+loop carries **no per-tick tracer guards at all** — spans and instants
+are emitted only at the rare restore/backup transitions (guarded by one
+hoisted bool) and the four ``tracer.phase`` wall-time hooks bracket the
+setup / precompute / replay / finalize sections. Tracing only reads
+state, so traced and untraced runs stay bit-identical
+(``tests/test_obs_differential.py``), and with the tracer disabled the
+loop is byte-for-byte the code above.
+
 The invariants this file relies on are documented in DESIGN.md
 ("Experiment engine" section); if you change the reference simulator or
 the capacitor model, change this file in lockstep and let the
@@ -61,8 +70,11 @@ from ..nvm.retention import RetentionPolicy
 from ..nvp.energy_model import CYCLES_PER_TICK
 from ..nvp.isa import DEFAULT_MIX, InstructionMix
 from ..nvp.processor import NonvolatileProcessor
+from ..obs.metrics import OUTAGE_TICKS_BUCKETS
+from ..obs.tracer import resolve_tracer
 from .config import SystemConfig
 from .metrics import SimulationResult
+from .simulator import _fold_run_metrics
 
 __all__ = ["fast_fixed_run"]
 
@@ -74,6 +86,7 @@ def fast_fixed_run(
     policy: Optional[RetentionPolicy] = None,
     mix: InstructionMix = DEFAULT_MIX,
     config: Optional[SystemConfig] = None,
+    tracer=None,
 ) -> SimulationResult:
     """Fixed-bit system simulation, bit-exact vs the reference loop.
 
@@ -88,211 +101,241 @@ def fast_fixed_run(
     rate-0 unpriced config both are bit-identical, enforced by
     ``tests/test_resilience_faults.py``).
     """
-    cfg = config if config is not None else SystemConfig()
-    proc = NonvolatileProcessor(policy=policy, mix=mix)
-    # Same validation (and error messages) as FixedBitAllocator.
-    bits = check_int_in_range(bits, "bits", 1, proc.energy_model.word_bits)
-    simd_width = check_int_in_range(simd_width, "simd_width", 1, 4)
-    lanes: List[int] = [bits] * simd_width
+    trc = resolve_tracer(tracer)
+    with trc.phase("fastsim.setup"):
+        cfg = config if config is not None else SystemConfig()
+        proc = NonvolatileProcessor(policy=policy, mix=mix, tracer=tracer)
+        # Same validation (and error messages) as FixedBitAllocator.
+        bits = check_int_in_range(bits, "bits", 1, proc.energy_model.word_bits)
+        simd_width = check_int_in_range(simd_width, "simd_width", 1, 4)
+        lanes: List[int] = [bits] * simd_width
 
-    samples = trace.samples_uw
-    frontend = cfg.build_frontend()
-    converted = frontend.convert_trace(samples)
-    direct = None
-    if isinstance(frontend, DualChannelFrontend):
-        direct = samples * frontend.bypass_efficiency
-        direct[samples < frontend.min_input_uw] = 0.0
-    n = len(samples)
+        samples = trace.samples_uw
+        frontend = cfg.build_frontend()
+        converted = frontend.convert_trace(samples)
+        direct = None
+        if isinstance(frontend, DualChannelFrontend):
+            direct = samples * frontend.bypass_efficiency
+            direct[samples < frontend.min_input_uw] = 0.0
+        n = len(samples)
 
-    mix_weight = proc.mix.mean_energy_weight
-    thresholds = derive_thresholds(
-        backup_energy_uj=proc.backup_energy_uj(lanes),
-        restore_energy_uj=proc.restore_energy_uj(lanes),
-        run_power_uw=proc.run_power_uw(lanes) * mix_weight,
-        min_run_ticks=cfg.min_run_ticks,
-        backup_margin=cfg.backup_margin,
-    )
-    start_level = max(
-        thresholds.start_energy_uj,
-        cfg.start_fill_fraction * cfg.capacitor_uj,
-    )
-    if start_level > cfg.capacitor_uj:
-        raise SimulationError(
-            f"start level {start_level:.2f} uJ exceeds capacitor "
-            f"capacity {cfg.capacitor_uj:.2f} uJ; this configuration "
-            "can never start"
+        mix_weight = proc.mix.mean_energy_weight
+        thresholds = derive_thresholds(
+            backup_energy_uj=proc.backup_energy_uj(lanes),
+            restore_energy_uj=proc.restore_energy_uj(lanes),
+            run_power_uw=proc.run_power_uw(lanes) * mix_weight,
+            min_run_ticks=cfg.min_run_ticks,
+            backup_margin=cfg.backup_margin,
         )
+        start_level = max(
+            thresholds.start_energy_uj,
+            cfg.start_fill_fraction * cfg.capacitor_uj,
+        )
+        if start_level > cfg.capacitor_uj:
+            raise SimulationError(
+                f"start level {start_level:.2f} uJ exceeds capacitor "
+                f"capacity {cfg.capacitor_uj:.2f} uJ; this configuration "
+                "can never start"
+            )
 
-    # -- hoisted per-tick constants (all pure functions of the fixed
-    #    lane configuration, evaluated exactly as the reference does) --
-    dt = TICK_S
-    capacity = float(cfg.capacitor_uj)
-    leak_frac = float(cfg.capacitor_leak_per_s)
-    floor_e = float(cfg.capacitor_leak_floor_uw) * dt
-    off_e = float(cfg.off_leakage_uw) * dt
-    run_power = proc.run_power_uw(lanes) * mix_weight
-    run_e = run_power * dt  # == tick_energy == drain_power demand
-    reserve = proc.backup_energy_uj(lanes) * (1.0 + cfg.backup_margin)
-    restore_cost = proc.restore_energy_uj(lanes)
-    # Backup-cost table for the (rare) emergency narrowing loop, which
-    # lowers only the lane-0 bit budget.
-    backup_cost = [0.0] * (bits + 1)
-    for b0 in range(1, bits + 1):
-        backup_cost[b0] = proc.backup_energy_uj([b0] + lanes[1:])
-    instr_per_tick = CYCLES_PER_TICK / proc.mix.mean_cycles
-    run_energy_per_tick = run_power * 1.0e-4  # literal from execute_tick
+        # -- hoisted per-tick constants (all pure functions of the fixed
+        #    lane configuration, evaluated exactly as the reference does) --
+        dt = TICK_S
+        capacity = float(cfg.capacitor_uj)
+        leak_frac = float(cfg.capacitor_leak_per_s)
+        floor_e = float(cfg.capacitor_leak_floor_uw) * dt
+        off_e = float(cfg.off_leakage_uw) * dt
+        run_power = proc.run_power_uw(lanes) * mix_weight
+        run_e = run_power * dt  # == tick_energy == drain_power demand
+        reserve = proc.backup_energy_uj(lanes) * (1.0 + cfg.backup_margin)
+        restore_cost = proc.restore_energy_uj(lanes)
+        # Backup-cost table for the (rare) emergency narrowing loop, which
+        # lowers only the lane-0 bit budget.
+        backup_cost = [0.0] * (bits + 1)
+        for b0 in range(1, bits + 1):
+            backup_cost[b0] = proc.backup_energy_uj([b0] + lanes[1:])
+        instr_per_tick = CYCLES_PER_TICK / proc.mix.mean_cycles
+        run_energy_per_tick = run_power * 1.0e-4  # literal from execute_tick
 
-    # -- vectorized precomputation over the whole trace ----------------
-    # Sticky-zero predicate: starting a tick at e == 0.0, does the tick
-    # end back at exactly 0.0? Replays charge/leak/drain elementwise
-    # with the same IEEE operations the scalar path would use.
-    inc0 = np.minimum(converted * dt, capacity)  # accepted charge
-    loss0 = np.minimum(inc0, inc0 * leak_frac * dt + floor_e)  # leak
-    sticky = (inc0 - loss0) <= off_e  # off-drain pins e at 0.0
-    nonsticky_idx = np.flatnonzero(~sticky)
-    income_idx = np.flatnonzero(converted > 0.0)
+    with trc.phase("fastsim.precompute"):
+        # -- vectorized precomputation over the whole trace ----------------
+        # Sticky-zero predicate: starting a tick at e == 0.0, does the tick
+        # end back at exactly 0.0? Replays charge/leak/drain elementwise
+        # with the same IEEE operations the scalar path would use.
+        inc0 = np.minimum(converted * dt, capacity)  # accepted charge
+        loss0 = np.minimum(inc0, inc0 * leak_frac * dt + floor_e)  # leak
+        sticky = (inc0 - loss0) <= off_e  # off-drain pins e at 0.0
+        nonsticky_idx = np.flatnonzero(~sticky)
+        income_idx = np.flatnonzero(converted > 0.0)
 
-    conv_list = converted.tolist()
-    direct_list = direct.tolist() if direct is not None else None
-    sticky_list = sticky.tolist()
-    nonsticky_list = nonsticky_idx.tolist()
-    income_list = income_idx.tolist()
-    n_nonsticky = len(nonsticky_list)
-    n_income = len(income_list)
-    searchsorted = np.searchsorted
+        conv_list = converted.tolist()
+        direct_list = direct.tolist() if direct is not None else None
+        sticky_list = sticky.tolist()
+        nonsticky_list = nonsticky_idx.tolist()
+        income_list = income_idx.tolist()
+        n_nonsticky = len(nonsticky_list)
+        n_income = len(income_list)
+        searchsorted = np.searchsorted
 
-    # -- exact scalar replay -------------------------------------------
-    e = 0.0  # capacitor energy (uJ); cap starts empty, like build_capacitor()
-    t = 0
-    running = False
-    on_ticks = 0
-    committed = 0
-    residue = 0.0
-    run_energy = 0.0
-    run_tick_idx: List[int] = []
-    backup_ticks: List[int] = []
+    with trc.phase("fastsim.replay"):
+        # -- exact scalar replay ---------------------------------------
+        # Tracer hooks appear only at restore/backup transitions behind
+        # the single hoisted bool below; the per-tick paths are guard-free.
+        t_on = trc.enabled
+        outage_start = 0
+        run_start = 0
+        e = 0.0  # capacitor energy (uJ); cap starts empty, like build_capacitor()
+        t = 0
+        running = False
+        on_ticks = 0
+        committed = 0
+        residue = 0.0
+        run_energy = 0.0
+        run_tick_idx: List[int] = []
+        backup_ticks: List[int] = []
 
-    while t < n:
-        if not running:
-            # OFF: charge from the storage channel, leak, off-drain,
-            # then restore if the start level is reached.
-            if e == 0.0 and sticky_list[t]:
-                # Pinned at exactly 0.0 until a tick can hold charge.
-                j = int(searchsorted(nonsticky_idx, t))
-                t = nonsticky_list[j] if j < n_nonsticky else n
-                continue
-            c = conv_list[t]
-            if c == 0.0:
-                # Zero-income decay span: e only falls, so neither the
-                # restore check nor the charge step can fire before the
-                # next income tick (or e reaches exactly 0.0).
-                j = int(searchsorted(income_idx, t))
-                span_end = income_list[j] if j < n_income else n
-                while t < span_end:
+        while t < n:
+            if not running:
+                # OFF: charge from the storage channel, leak, off-drain,
+                # then restore if the start level is reached.
+                if e == 0.0 and sticky_list[t]:
+                    # Pinned at exactly 0.0 until a tick can hold charge.
+                    j = int(searchsorted(nonsticky_idx, t))
+                    t = nonsticky_list[j] if j < n_nonsticky else n
+                    continue
+                c = conv_list[t]
+                if c == 0.0:
+                    # Zero-income decay span: e only falls, so neither the
+                    # restore check nor the charge step can fire before the
+                    # next income tick (or e reaches exactly 0.0).
+                    j = int(searchsorted(income_idx, t))
+                    span_end = income_list[j] if j < n_income else n
+                    while t < span_end:
+                        loss = e * leak_frac * dt + floor_e
+                        if loss > e:
+                            loss = e
+                        e -= loss
+                        if e >= off_e:
+                            e -= off_e
+                            t += 1
+                        else:
+                            e = 0.0
+                            t += 1
+                            break
+                    continue
+                incoming = c * dt
+                room = capacity - e
+                e += incoming if incoming < room else room
+                if e > 0.0:
                     loss = e * leak_frac * dt + floor_e
                     if loss > e:
                         loss = e
                     e -= loss
-                    if e >= off_e:
-                        e -= off_e
-                        t += 1
-                    else:
+                if e >= off_e:
+                    e -= off_e
+                else:
+                    e = 0.0
+                if e >= start_level:
+                    # RESTORE occupies this tick.
+                    if restore_cost > e + 1e-12:
+                        raise SimulationError(
+                            "start threshold did not cover restore energy"
+                        )
+                    e -= restore_cost
+                    if e < 0.0:
                         e = 0.0
-                        t += 1
-                        break
+                    if t_on:
+                        trc.tick = t
+                    proc.restore(lanes)
+                    running = True
+                    on_ticks += 1
+                    if t_on:
+                        trc.span("outage", outage_start, t, cat="system")
+                        trc.metrics.observe(
+                            "outage.ticks", t - outage_start, OUTAGE_TICKS_BUCKETS
+                        )
+                        run_start = t
+                t += 1
                 continue
-            incoming = c * dt
-            room = capacity - e
-            e += incoming if incoming < room else room
+
+            # RUN: charge (bypass channel when dual), leak, then either a
+            # power-emergency backup or one executed tick.
+            c = direct_list[t] if direct_list is not None else conv_list[t]
+            if c > 0.0:
+                incoming = c * dt
+                room = capacity - e
+                e += incoming if incoming < room else room
             if e > 0.0:
                 loss = e * leak_frac * dt + floor_e
                 if loss > e:
                     loss = e
                 e -= loss
-            if e >= off_e:
-                e -= off_e
-            else:
-                e = 0.0
-            if e >= start_level:
-                # RESTORE occupies this tick.
-                if restore_cost > e + 1e-12:
-                    raise SimulationError(
-                        "start threshold did not cover restore energy"
-                    )
-                e -= restore_cost
+            if e - run_e < reserve:
+                # Power emergency: back up with the reserved charge,
+                # narrowing the lane-0 budget if the charge fell short.
+                b0 = bits
+                cost = backup_cost[b0]
+                while b0 > 1 and cost > e:
+                    b0 -= 1
+                    cost = backup_cost[b0]
+                if cost > e + 1e-12:
+                    raise SimulationError("backup reserve was not available")
+                e -= cost
                 if e < 0.0:
                     e = 0.0
-                proc.restore(lanes)
-                running = True
+                if t_on:
+                    trc.tick = t
+                proc.backup(t, [b0] + lanes[1:])
+                backup_ticks.append(t)
+                running = False
                 on_ticks += 1
-            t += 1
-            continue
-
-        # RUN: charge (bypass channel when dual), leak, then either a
-        # power-emergency backup or one executed tick.
-        c = direct_list[t] if direct_list is not None else conv_list[t]
-        if c > 0.0:
-            incoming = c * dt
-            room = capacity - e
-            e += incoming if incoming < room else room
-        if e > 0.0:
-            loss = e * leak_frac * dt + floor_e
-            if loss > e:
-                loss = e
-            e -= loss
-        if e - run_e < reserve:
-            # Power emergency: back up with the reserved charge,
-            # narrowing the lane-0 budget if the charge fell short.
-            b0 = bits
-            cost = backup_cost[b0]
-            while b0 > 1 and cost > e:
-                b0 -= 1
-                cost = backup_cost[b0]
-            if cost > e + 1e-12:
-                raise SimulationError("backup reserve was not available")
-            e -= cost
-            if e < 0.0:
-                e = 0.0
-            proc.backup(t, [b0] + lanes[1:])
-            backup_ticks.append(t)
-            running = False
+                if t_on:
+                    trc.span("run", run_start, t, cat="system")
+                    outage_start = t
+                t += 1
+                continue
+            if run_e <= e:
+                e -= run_e
+            else:
+                raise SimulationError("run tick drained past available charge")
+            # execute_tick bookkeeping, inlined (lanes are constant).
+            exact = instr_per_tick + residue
+            ipl = int(exact)
+            residue = exact - ipl
+            committed += ipl
+            run_energy += run_energy_per_tick
+            run_tick_idx.append(t)
             on_ticks += 1
             t += 1
-            continue
-        if run_e <= e:
-            e -= run_e
-        else:
-            raise SimulationError("run tick drained past available charge")
-        # execute_tick bookkeeping, inlined (lanes are constant).
-        exact = instr_per_tick + residue
-        ipl = int(exact)
-        residue = exact - ipl
-        committed += ipl
-        run_energy += run_energy_per_tick
-        run_tick_idx.append(t)
-        on_ticks += 1
-        t += 1
 
-    bit_schedule = np.zeros(n, dtype=np.int16)
-    lane_schedule = np.zeros(n, dtype=np.int16)
-    if run_tick_idx:
-        idx = np.asarray(run_tick_idx, dtype=np.intp)
-        bit_schedule[idx] = bits
-        lane_schedule[idx] = simd_width
-    engine = proc.backup_engine
-    return SimulationResult(
-        total_ticks=n,
-        forward_progress=committed,
-        incidental_progress=committed * (simd_width - 1),
-        backup_count=engine.backup_count,
-        restore_count=engine.restore_count,
-        on_ticks=on_ticks,
-        income_energy_uj=trace.total_energy_uj,
-        converted_energy_uj=float(converted.sum() * TICK_S),
-        run_energy_uj=run_energy,
-        backup_energy_uj=engine.total_backup_energy_uj,
-        restore_energy_uj=engine.total_restore_energy_uj,
-        bit_schedule=bit_schedule,
-        lane_schedule=lane_schedule,
-        backup_ticks=tuple(backup_ticks),
-    )
+    with trc.phase("fastsim.finalize"):
+        bit_schedule = np.zeros(n, dtype=np.int16)
+        lane_schedule = np.zeros(n, dtype=np.int16)
+        if run_tick_idx:
+            idx = np.asarray(run_tick_idx, dtype=np.intp)
+            bit_schedule[idx] = bits
+            lane_schedule[idx] = simd_width
+        if t_on:
+            if running:
+                trc.span("run", run_start, n, cat="system")
+            else:
+                trc.span("outage", outage_start, n, cat="system")
+            _fold_run_metrics(trc, bit_schedule, lane_schedule, on_ticks, n)
+        engine = proc.backup_engine
+        result = SimulationResult(
+            total_ticks=n,
+            forward_progress=committed,
+            incidental_progress=committed * (simd_width - 1),
+            backup_count=engine.backup_count,
+            restore_count=engine.restore_count,
+            on_ticks=on_ticks,
+            income_energy_uj=trace.total_energy_uj,
+            converted_energy_uj=float(converted.sum() * TICK_S),
+            run_energy_uj=run_energy,
+            backup_energy_uj=engine.total_backup_energy_uj,
+            restore_energy_uj=engine.total_restore_energy_uj,
+            bit_schedule=bit_schedule,
+            lane_schedule=lane_schedule,
+            backup_ticks=tuple(backup_ticks),
+        )
+    return result

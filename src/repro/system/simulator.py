@@ -35,6 +35,7 @@ from ..errors import SimulationError
 from ..nvm.retention import RetentionPolicy
 from ..nvp.isa import DEFAULT_MIX, InstructionMix
 from ..nvp.processor import NonvolatileProcessor
+from ..obs.metrics import BITWIDTH_BUCKETS, OUTAGE_TICKS_BUCKETS
 from ..resilience import ResilienceConfig, RestoreOutcome
 from .config import SystemConfig
 from .metrics import SimulationResult
@@ -112,6 +113,30 @@ class FixedBitAllocator(BitAllocator):
         return [self.bits] * self.simd_width
 
 
+def _fold_run_metrics(tracer, bit_schedule, lane_schedule, on_ticks, n) -> None:
+    """Fold end-of-run schedule distributions into the tracer's metrics.
+
+    Shared by the reference loop and the fast path so both engines
+    produce identical per-run metrics (histograms are derived from the
+    bit-exact schedules, not from loop-side counters).
+    """
+    metrics = tracer.metrics
+    run_mask = bit_schedule > 0
+    bits = np.bincount(bit_schedule[run_mask], minlength=9)
+    widths = np.bincount(lane_schedule[run_mask], minlength=9)
+    bits_hist = metrics.histogram("lane0.bits", BITWIDTH_BUCKETS)
+    width_hist = metrics.histogram("simd.width", BITWIDTH_BUCKETS)
+    for value in range(1, min(9, len(bits))):
+        if bits[value]:
+            bits_hist.observe(value, int(bits[value]))
+    for value in range(1, min(9, len(widths))):
+        if widths[value]:
+            width_hist.observe(value, int(widths[value]))
+    metrics.inc("sim.on_ticks", int(on_ticks))
+    metrics.inc("sim.total_ticks", int(n))
+    metrics.set_gauge("sim.on_fraction", on_ticks / n if n else 0.0)
+
+
 class NVPSystemSimulator:
     """Drives a :class:`NonvolatileProcessor` over one power trace."""
 
@@ -133,6 +158,14 @@ class NVPSystemSimulator:
         proc = self.processor
         proc.reset_counters()
         cap = cfg.build_capacitor()
+        # Observability: the processor's tracer covers the whole device,
+        # so the system layer and the capacitor report into it too. All
+        # hooks are guarded by the hoisted flags below; with the default
+        # NULL_TRACER every guard is False and the loop is unchanged.
+        tracer = proc.tracer
+        t_enabled = tracer.enabled
+        t_events = tracer.events
+        cap.attach_tracer(tracer)
         frontend = cfg.build_frontend()
         samples = self.trace.samples_uw
         converted = frontend.convert_trace(samples)
@@ -175,8 +208,13 @@ class NVPSystemSimulator:
         lane_schedule = np.zeros(n, dtype=np.int16)
         mix_weight = proc.mix.mean_energy_weight
         resilience = proc.resilience
+        outage_start = 0
+        run_start = 0
+        prev_lanes: Optional[List[int]] = None
 
         for tick in range(n):
+            if t_enabled:
+                tracer.tick = tick
             if direct is not None and state is SystemState.RUN:
                 cap.charge(direct[tick])
             else:
@@ -212,6 +250,13 @@ class NVPSystemSimulator:
                         self.allocator.notify_degraded_restore(tick, outcome)
                     state = SystemState.RUN
                     on_ticks += 1
+                    if t_enabled:
+                        tracer.span("outage", outage_start, tick, cat="system")
+                        tracer.metrics.observe(
+                            "outage.ticks", tick - outage_start, OUTAGE_TICKS_BUCKETS
+                        )
+                        run_start = tick
+                        prev_lanes = None
                 continue
 
             # state is RUN
@@ -219,6 +264,7 @@ class NVPSystemSimulator:
                 direct[tick] if direct is not None else converted[tick]
             )
             lanes = self.allocator.allocate(income_now, cap.energy_uj, tick)
+            requested_lanes = len(lanes) if t_events else 0
             run_power = proc.run_power_uw(lanes) * mix_weight
             tick_energy = run_power * TICK_S
             backup_reserve = proc.backup_energy_uj(lanes) * (1.0 + cfg.backup_margin)
@@ -234,6 +280,13 @@ class NVPSystemSimulator:
                 run_power = proc.run_power_uw(lanes) * mix_weight
                 tick_energy = run_power * TICK_S
                 backup_reserve = proc.backup_energy_uj(lanes) * (1.0 + cfg.backup_margin)
+            if t_events and requested_lanes > len(lanes):
+                tracer.instant(
+                    "lanes.narrowed",
+                    tick=tick,
+                    cat="system",
+                    args={"requested": requested_lanes, "granted": len(lanes)},
+                )
 
             if cap.energy_uj - tick_energy < backup_reserve:
                 # Power emergency: back up with the reserved charge.
@@ -247,12 +300,22 @@ class NVPSystemSimulator:
                     backup_cost = proc.backup_energy_uj(backup_lanes)
                 if not cap.draw(backup_cost):
                     raise SimulationError("backup reserve was not available")
+                if t_events and backup_lanes[0] < lanes[0]:
+                    tracer.instant(
+                        "backup.narrowed",
+                        tick=tick,
+                        cat="system",
+                        args={"requested_bits": lanes[0], "granted_bits": backup_lanes[0]},
+                    )
                 lanes = backup_lanes
                 proc.backup(tick, lanes)
                 self.allocator.notify_backup(tick)
                 backup_ticks.append(tick)
                 state = SystemState.OFF
                 on_ticks += 1
+                if t_enabled:
+                    tracer.span("run", run_start, tick, cat="system")
+                    outage_start = tick
                 continue
 
             shortfall = cap.drain_power(run_power)
@@ -263,6 +326,21 @@ class NVPSystemSimulator:
             bit_schedule[tick] = lanes[0]
             lane_schedule[tick] = len(lanes)
             on_ticks += 1
+            if t_events and lanes != prev_lanes:
+                tracer.instant(
+                    "lanes",
+                    tick=tick,
+                    cat="system",
+                    args={"bits": list(lanes), "width": len(lanes)},
+                )
+                prev_lanes = list(lanes)
+
+        if t_enabled:
+            if state is SystemState.OFF:
+                tracer.span("outage", outage_start, n, cat="system")
+            else:
+                tracer.span("run", run_start, n, cat="system")
+            _fold_run_metrics(tracer, bit_schedule, lane_schedule, on_ticks, n)
 
         return SimulationResult(
             total_ticks=n,
@@ -291,6 +369,7 @@ def simulate_fixed_bits(
     config: Optional[SystemConfig] = None,
     engine: str = "auto",
     resilience: Optional[ResilienceConfig] = None,
+    tracer=None,
 ) -> SimulationResult:
     """Convenience: simulate a fixed-bitwidth NVP over ``trace``.
 
@@ -310,6 +389,10 @@ def simulate_fixed_bits(
     unpriced config the result is still bit-identical to the fast path
     — the restore validation trivially passes — which the differential
     suite in ``tests/test_resilience_faults.py`` enforces).
+
+    ``tracer`` threads an observability :class:`~repro.obs.Tracer`
+    through whichever engine runs; by contract (enforced by
+    ``tests/test_obs_differential.py``) it never changes the result.
     """
     if engine not in ("auto", "fast", "reference"):
         raise SimulationError(
@@ -319,8 +402,16 @@ def simulate_fixed_bits(
         from .fastsim import fast_fixed_run
 
         return fast_fixed_run(
-            trace, bits, simd_width=simd_width, policy=policy, mix=mix, config=config
+            trace,
+            bits,
+            simd_width=simd_width,
+            policy=policy,
+            mix=mix,
+            config=config,
+            tracer=tracer,
         )
-    processor = NonvolatileProcessor(policy=policy, mix=mix, resilience=resilience)
+    processor = NonvolatileProcessor(
+        policy=policy, mix=mix, resilience=resilience, tracer=tracer
+    )
     allocator = FixedBitAllocator(bits, simd_width=simd_width)
     return NVPSystemSimulator(trace, processor, allocator, config=config).run()

@@ -86,6 +86,22 @@ def test_grid_runs_pick_up_the_context_label():
     assert telemetry.last_report(kind="fixed").context == "fig99"
 
 
+def test_resilience_grid_always_carries_a_context():
+    # Direct CLI invocations run outside any telemetry.context() block;
+    # their rows must still be attributable (not an empty label), while
+    # runner-scoped campaigns keep the artifact label.
+    from repro.analysis.resilience import ResilienceCampaign
+
+    campaign = ResilienceCampaign(
+        rates=(0.0,), policies=("linear",), kernels=("median",), duration_s=0.4
+    )
+    campaign.run()
+    assert telemetry.last_report(kind="resilience").context == "resilience"
+    with telemetry.context("figX"):
+        campaign.run()
+    assert telemetry.last_report(kind="resilience").context == "figX"
+
+
 # -- JSONL event log -----------------------------------------------------------
 
 
