@@ -1,0 +1,428 @@
+"""Trace-parallel batched replay of fixed-bit system simulations.
+
+:mod:`repro.system.fastsim` replays one (trace, config) point per call;
+an experiment grid replays N of them, paying the per-task dispatch
+(and, under the pooled tier, process spawn + pickling) N times. This
+module stacks a whole grid into one **ragged batch**:
+
+* every distinct (trace, front-end config) pair becomes one *slot* —
+  its converted/bypass income series, the sticky-zero outage mask and
+  the precomputed outage/income skip schedules are built once and
+  padded into (S, n_max) arrays with per-slot valid lengths
+  (:class:`BatchTracePlan`);
+* every grid point becomes a *lane* referencing a slot plus its own
+  scalar constants (thresholds, reserve, backup-cost table), and the
+  replay loop runs in a compiled kernel (:mod:`repro._accel`) over the
+  slot's row views.
+
+The batch path is required to be **bit-exact**: every lane's
+:class:`SimulationResult` is identical field for field to what
+:func:`~repro.system.fastsim.fast_fixed_run` — and therefore the
+reference :class:`~repro.system.simulator.NVPSystemSimulator` — would
+produce. ``tests/test_batch_equivalence.py`` enforces that contract
+differentially; ``tests/test_batch_properties.py`` pins the ragged
+representation itself against the per-task precomputation.
+
+Lanes the batch path cannot honor byte-for-byte are *refused*, never
+approximated: setup errors (e.g. a start level above the capacitor
+capacity) and kernel status codes hand the lane back to the caller,
+who re-runs it through the per-task path where the identical
+:class:`~repro.errors.SimulationError` surfaces naturally.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import _accel
+from .._validation import check_int_in_range
+from ..energy.frontend import DualChannelFrontend
+from ..energy.management import derive_thresholds
+from ..energy.traces import TICK_S, PowerTrace
+from ..errors import SimulationError
+from ..nvm.retention import RetentionPolicy
+from ..nvp.energy_model import CYCLES_PER_TICK
+from ..nvp.isa import DEFAULT_MIX, InstructionMix
+from ..nvp.processor import NonvolatileProcessor
+from .config import SystemConfig
+from .metrics import SimulationResult
+
+__all__ = [
+    "FixedLaneSpec",
+    "LaneOutcome",
+    "BatchTracePlan",
+    "build_trace_plan",
+    "run_fixed_batch",
+    "batch_available",
+]
+
+
+def batch_available() -> bool:
+    """Whether the compiled batch kernels can run on this host."""
+    return _accel.available()
+
+
+# -- ragged trace plan --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BatchTracePlan:
+    """Padded per-slot trace precomputation shared by a batch.
+
+    One *slot* per distinct (trace, front-end config) pair; lanes map
+    onto slots via :attr:`slot_of`. All 2-D arrays are padded to the
+    longest slot; :attr:`lengths` carries each slot's valid tick count
+    and :meth:`valid_mask` materialises it as a boolean mask. Padding
+    is never read by the replay kernel (its loop stops at the valid
+    length), so its value is immaterial; zeros are used throughout
+    except for the skip schedules, which pad with ``n`` (one past the
+    last valid tick) to keep them sorted.
+    """
+
+    #: Per-slot valid tick counts (S,).
+    lengths: np.ndarray
+    #: Lane -> slot index (L,).
+    slot_of: np.ndarray
+    #: Storage-channel income per tick, padded (S, n_max) float64.
+    conv: np.ndarray
+    #: Bypass-channel income (dual-channel slots), padded; ``None``
+    #: when no slot uses a dual-channel front end.
+    direct: Optional[np.ndarray]
+    #: Per-slot flag: does this slot use the bypass channel? (S,) bool.
+    has_direct: np.ndarray
+    #: Sticky-zero outage mask, padded (S, n_max) uint8: from an empty
+    #: capacitor, this tick provably ends back at exactly 0.0.
+    sticky: np.ndarray
+    #: Sorted non-sticky tick indices, padded with ``n`` (S, k_max).
+    nonsticky: np.ndarray
+    #: Valid entry count of each ``nonsticky`` row (S,).
+    nonsticky_len: np.ndarray
+    #: Sorted positive-income tick indices, padded with ``n`` (S, m_max).
+    income: np.ndarray
+    #: Valid entry count of each ``income`` row (S,).
+    income_len: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.slot_of.shape[0])
+
+    @property
+    def n_slots(self) -> int:
+        return int(self.lengths.shape[0])
+
+    def valid_mask(self) -> np.ndarray:
+        """Boolean (S, n_max) mask of valid (non-padding) ticks."""
+        n_max = self.conv.shape[1]
+        return np.arange(n_max)[None, :] < self.lengths[:, None]
+
+    def converted_row(self, slot: int) -> np.ndarray:
+        """The slot's unpadded converted-income series (a view)."""
+        return self.conv[slot, : int(self.lengths[slot])]
+
+
+def _slot_key(trace: PowerTrace, config: SystemConfig) -> Tuple[int, SystemConfig]:
+    return (id(trace), config)
+
+
+def build_trace_plan(
+    entries: Sequence[Tuple[PowerTrace, SystemConfig]],
+) -> BatchTracePlan:
+    """Build the ragged batch plan for ``entries`` (one lane each).
+
+    Precomputes, per distinct (trace, config) slot, exactly what
+    ``fast_fixed_run`` precomputes per task — front-end conversion,
+    bypass series, the sticky-zero predicate and the sorted skip
+    schedules — using the identical IEEE-754 operations, then pads
+    everything to the longest slot.
+    """
+    slots: Dict[Tuple[int, SystemConfig], int] = {}
+    slot_conv: List[np.ndarray] = []
+    slot_direct: List[Optional[np.ndarray]] = []
+    slot_sticky: List[np.ndarray] = []
+    slot_nonsticky: List[np.ndarray] = []
+    slot_income: List[np.ndarray] = []
+    slot_of = np.zeros(len(entries), dtype=np.int64)
+
+    for lane, (trace, config) in enumerate(entries):
+        key = _slot_key(trace, config)
+        slot = slots.get(key)
+        if slot is None:
+            slot = len(slot_conv)
+            slots[key] = slot
+            samples = trace.samples_uw
+            frontend = config.build_frontend()
+            converted = frontend.convert_trace(samples)
+            direct = None
+            if isinstance(frontend, DualChannelFrontend):
+                direct = samples * frontend.bypass_efficiency
+                direct[samples < frontend.min_input_uw] = 0.0
+            dt = TICK_S
+            capacity = float(config.capacitor_uj)
+            leak_frac = float(config.capacitor_leak_per_s)
+            floor_e = float(config.capacitor_leak_floor_uw) * dt
+            off_e = float(config.off_leakage_uw) * dt
+            inc0 = np.minimum(converted * dt, capacity)
+            loss0 = np.minimum(inc0, inc0 * leak_frac * dt + floor_e)
+            sticky = (inc0 - loss0) <= off_e
+            slot_conv.append(np.ascontiguousarray(converted, dtype=np.float64))
+            slot_direct.append(
+                None
+                if direct is None
+                else np.ascontiguousarray(direct, dtype=np.float64)
+            )
+            slot_sticky.append(sticky.astype(np.uint8))
+            slot_nonsticky.append(np.flatnonzero(~sticky).astype(np.int64))
+            slot_income.append(np.flatnonzero(converted > 0.0).astype(np.int64))
+        slot_of[lane] = slot
+
+    n_slots = len(slot_conv)
+    lengths = np.array([len(c) for c in slot_conv], dtype=np.int64)
+    n_max = int(lengths.max()) if n_slots else 0
+    k_max = max((len(a) for a in slot_nonsticky), default=0)
+    m_max = max((len(a) for a in slot_income), default=0)
+
+    conv = np.zeros((n_slots, n_max), dtype=np.float64)
+    sticky = np.zeros((n_slots, n_max), dtype=np.uint8)
+    nonsticky = np.zeros((n_slots, k_max), dtype=np.int64)
+    income = np.zeros((n_slots, m_max), dtype=np.int64)
+    nonsticky_len = np.zeros(n_slots, dtype=np.int64)
+    income_len = np.zeros(n_slots, dtype=np.int64)
+    has_direct = np.zeros(n_slots, dtype=bool)
+    any_direct = any(d is not None for d in slot_direct)
+    direct = np.zeros((n_slots, n_max), dtype=np.float64) if any_direct else None
+
+    for s in range(n_slots):
+        n = int(lengths[s])
+        conv[s, :n] = slot_conv[s]
+        sticky[s, :n] = slot_sticky[s]
+        ns = slot_nonsticky[s]
+        nonsticky[s, : len(ns)] = ns
+        nonsticky[s, len(ns):] = n
+        nonsticky_len[s] = len(ns)
+        inc = slot_income[s]
+        income[s, : len(inc)] = inc
+        income[s, len(inc):] = n
+        income_len[s] = len(inc)
+        if slot_direct[s] is not None:
+            has_direct[s] = True
+            direct[s, :n] = slot_direct[s]  # type: ignore[index]
+
+    return BatchTracePlan(
+        lengths=lengths,
+        slot_of=slot_of,
+        conv=conv,
+        direct=direct,
+        has_direct=has_direct,
+        sticky=sticky,
+        nonsticky=nonsticky,
+        nonsticky_len=nonsticky_len,
+        income=income,
+        income_len=income_len,
+    )
+
+
+# -- lane specs and outcomes --------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FixedLaneSpec:
+    """One fixed-bit grid point, mirroring ``fast_fixed_run``'s inputs."""
+
+    trace: PowerTrace
+    bits: int
+    simd_width: int = 1
+    policy: Optional[RetentionPolicy] = None
+    mix: InstructionMix = DEFAULT_MIX
+    config: Optional[SystemConfig] = None
+
+    def resolved_config(self) -> SystemConfig:
+        return self.config if self.config is not None else SystemConfig()
+
+
+@dataclass(frozen=True)
+class LaneOutcome:
+    """Result of one batch lane: a result, or a refusal reason.
+
+    ``refused`` lanes carry no result; the caller re-runs them through
+    the per-task path (where errors raise with the reference message).
+    """
+
+    result: Optional[SimulationResult] = None
+    refused: Optional[str] = None
+    wall_s: float = 0.0
+
+
+@dataclass
+class _FixedLaneSetup:
+    """Hoisted per-lane constants (the fastsim setup block, verbatim)."""
+
+    dp: np.ndarray
+    ip: np.ndarray
+    backup_cost: np.ndarray
+    income_energy_uj: float
+
+
+def _fixed_lane_setup(
+    spec: FixedLaneSpec, slot: int, plan: BatchTracePlan
+) -> _FixedLaneSetup:
+    """Per-lane setup mirroring ``fast_fixed_run``'s setup phase.
+
+    Raises the same :class:`SimulationError` the fast path would for an
+    unstartable configuration; the caller converts that into a refusal
+    so the per-task tier re-raises it through the normal machinery.
+    """
+    cfg = spec.resolved_config()
+    proc = NonvolatileProcessor(policy=spec.policy, mix=spec.mix)
+    bits = check_int_in_range(spec.bits, "bits", 1, proc.energy_model.word_bits)
+    simd_width = check_int_in_range(spec.simd_width, "simd_width", 1, 4)
+    lanes = [bits] * simd_width
+
+    mix_weight = proc.mix.mean_energy_weight
+    thresholds = derive_thresholds(
+        backup_energy_uj=proc.backup_energy_uj(lanes),
+        restore_energy_uj=proc.restore_energy_uj(lanes),
+        run_power_uw=proc.run_power_uw(lanes) * mix_weight,
+        min_run_ticks=cfg.min_run_ticks,
+        backup_margin=cfg.backup_margin,
+    )
+    start_level = max(
+        thresholds.start_energy_uj,
+        cfg.start_fill_fraction * cfg.capacitor_uj,
+    )
+    if start_level > cfg.capacitor_uj:
+        raise SimulationError(
+            f"start level {start_level:.2f} uJ exceeds capacitor "
+            f"capacity {cfg.capacitor_uj:.2f} uJ; this configuration "
+            "can never start"
+        )
+
+    dt = TICK_S
+    run_power = proc.run_power_uw(lanes) * mix_weight
+    backup_cost = np.zeros(bits + 1, dtype=np.float64)
+    for b0 in range(1, bits + 1):
+        backup_cost[b0] = proc.backup_energy_uj([b0] + lanes[1:])
+
+    dp = np.array(
+        [
+            dt,
+            float(cfg.capacitor_uj),
+            float(cfg.capacitor_leak_per_s),
+            float(cfg.capacitor_leak_floor_uw) * dt,
+            float(cfg.off_leakage_uw) * dt,
+            run_power * dt,
+            proc.backup_energy_uj(lanes) * (1.0 + cfg.backup_margin),
+            proc.restore_energy_uj(lanes),
+            start_level,
+            CYCLES_PER_TICK / proc.mix.mean_cycles,
+            run_power * 1.0e-4,
+        ],
+        dtype=np.float64,
+    )
+    n = int(plan.lengths[slot])
+    ip = np.array(
+        [
+            n,
+            int(plan.nonsticky_len[slot]),
+            int(plan.income_len[slot]),
+            bits,
+            simd_width,
+            1 if plan.has_direct[slot] else 0,
+            n,  # backup_ticks capacity: one backup needs >= 1 run tick
+        ],
+        dtype=np.int64,
+    )
+    return _FixedLaneSetup(
+        dp=dp,
+        ip=ip,
+        backup_cost=backup_cost,
+        income_energy_uj=spec.trace.total_energy_uj,
+    )
+
+
+def run_fixed_batch(
+    specs: Sequence[FixedLaneSpec],
+    plan: Optional[BatchTracePlan] = None,
+) -> List[LaneOutcome]:
+    """Replay every lane of ``specs`` through the batch kernel.
+
+    Returns one :class:`LaneOutcome` per lane, in order. Lanes are
+    never approximated: any setup error or kernel status refuses the
+    lane instead. With the accelerator unavailable every lane refuses.
+    """
+    if not batch_available():
+        return [LaneOutcome(refused="accelerator unavailable") for _ in specs]
+    if plan is None:
+        plan = build_trace_plan(
+            [(spec.trace, spec.resolved_config()) for spec in specs]
+        )
+    outcomes: List[LaneOutcome] = []
+    scratch_backups: Optional[np.ndarray] = None
+    for lane, spec in enumerate(specs):
+        start = time.perf_counter()
+        slot = int(plan.slot_of[lane])
+        n = int(plan.lengths[slot])
+        try:
+            setup = _fixed_lane_setup(spec, slot, plan)
+        except SimulationError as exc:
+            outcomes.append(
+                LaneOutcome(
+                    refused=f"setup raised: {exc}",
+                    wall_s=time.perf_counter() - start,
+                )
+            )
+            continue
+        if scratch_backups is None or scratch_backups.shape[0] < n:
+            scratch_backups = np.zeros(max(n, 1), dtype=np.int64)
+        bit_schedule = np.zeros(n, dtype=np.int16)
+        lane_schedule = np.zeros(n, dtype=np.int16)
+        iout = np.zeros(4, dtype=np.int64)
+        dout = np.zeros(3, dtype=np.float64)
+        status = _accel.fixed_replay(
+            plan.conv[slot],
+            plan.direct[slot] if plan.direct is not None else None,
+            plan.sticky[slot],
+            plan.nonsticky[slot],
+            plan.income[slot],
+            setup.dp,
+            setup.ip,
+            setup.backup_cost,
+            bit_schedule,
+            lane_schedule,
+            scratch_backups,
+            iout,
+            dout,
+        )
+        if status != 0:
+            outcomes.append(
+                LaneOutcome(
+                    refused=f"kernel status {status}",
+                    wall_s=time.perf_counter() - start,
+                )
+            )
+            continue
+        committed = int(iout[0])
+        n_backups = int(iout[2])
+        converted_view = plan.converted_row(slot)
+        result = SimulationResult(
+            total_ticks=n,
+            forward_progress=committed,
+            incidental_progress=committed * (spec.simd_width - 1),
+            backup_count=n_backups,
+            restore_count=int(iout[3]),
+            on_ticks=int(iout[1]),
+            income_energy_uj=setup.income_energy_uj,
+            converted_energy_uj=float(converted_view.sum() * TICK_S),
+            run_energy_uj=float(dout[0]),
+            backup_energy_uj=float(dout[1]),
+            restore_energy_uj=float(dout[2]),
+            bit_schedule=bit_schedule,
+            lane_schedule=lane_schedule,
+            backup_ticks=tuple(int(b) for b in scratch_backups[:n_backups]),
+        )
+        outcomes.append(
+            LaneOutcome(result=result, wall_s=time.perf_counter() - start)
+        )
+    return outcomes
