@@ -1379,3 +1379,65 @@ def resilience_campaign(
             "curves": curves,
         },
     )
+
+
+@_artifact("fleet")
+def fleet_campaign(
+    n_devices: int = 200,
+    seed: int = 0,
+    duration_s: float = 1.0,
+) -> ExperimentResult:
+    """Fleet-scale availability and forward-progress distributions.
+
+    An extension beyond the paper: :mod:`repro.fleet` expands a
+    weighted archetype mixture (solar sensors, RF scavengers, thermal
+    wearables with manufacturing spread) into ``n_devices`` seeded
+    device tasks and runs them through the chunk-sharded batch tier.
+    Rows summarise each archetype plus the fleet-wide percentile
+    spread; ``data`` carries the full distributions for the test suite
+    and the report.
+    """
+    from ..fleet import FleetSpec, run_fleet
+
+    result = run_fleet(
+        FleetSpec(n_devices=n_devices, seed=seed, duration_s=duration_s)
+    )
+    rows: List[Tuple] = [
+        (
+            name,
+            int(summary["devices"]),
+            f"{summary['median_progress_per_s']:.0f}",
+            f"{summary['mean_availability']:.3f}",
+            f"{summary['stalled_fraction']:.3f}",
+        )
+        for name, summary in sorted(result.per_archetype.items())
+    ]
+    for level in ("p5", "p50", "p95"):
+        rows.append(
+            (
+                f"fleet {level}",
+                n_devices,
+                f"{result.progress_rate_percentiles[level]:.0f}",
+                f"{result.availability_percentiles[level]:.3f}",
+                "-",
+            )
+        )
+    return ExperimentResult(
+        experiment_id="fleet",
+        description=(
+            f"fleet of {n_devices} heterogeneous harvesters ({duration_s:g}s)"
+        ),
+        headers=("archetype", "devices", "fp_per_s", "avail", "stalled"),
+        rows=rows,
+        data={
+            "progress_percentiles": result.progress_percentiles,
+            "progress_rate_percentiles": result.progress_rate_percentiles,
+            "availability_percentiles": result.availability_percentiles,
+            "availability_cdf": result.availability_cdf,
+            "energy_per_progress_percentiles": (
+                result.energy_per_progress_percentiles
+            ),
+            "per_archetype": result.per_archetype,
+            "metrics": result.metrics,
+        },
+    )

@@ -75,6 +75,7 @@ EXPERIMENT_RUNNERS: Dict[str, Callable[[], "E.ExperimentResult"]] = {
     "fig28": E.fig28_overall_gain,
     "sec7": E.sec7_frame_rates,
     "resilience": E.resilience_campaign,
+    "fleet": E.fleet_campaign,
 }
 
 
@@ -200,6 +201,7 @@ def _cmd_cache(action: str, cache_dir: Optional[str]) -> int:
         ("fixed-bit", info["fixed"]),
         ("executive", info["executive"]),
         ("resilience", info["resilience"]),
+        ("fleet", info["fleet"]),
         ("bytes", info["bytes"]),
         ("quarantined", info["quarantined"]),
         ("quarantine path", info["quarantine_path"]),
@@ -390,6 +392,26 @@ def main(argv: Optional[List[str]] = None) -> int:
             help="re-attempts for a crashed/hung/corrupt task (default: 2)",
         )
         p.add_argument(
+            "--batch-chunk-lanes",
+            type=int,
+            default=None,
+            metavar="N",
+            help=(
+                "max lanes per batch-tier chunk; 0 removes the lane "
+                "budget (default: 1024)"
+            ),
+        )
+        p.add_argument(
+            "--batch-chunk-bytes",
+            type=int,
+            default=None,
+            metavar="BYTES",
+            help=(
+                "max estimated plan bytes per batch-tier chunk; 0 "
+                "removes the byte budget (default: 256 MiB)"
+            ),
+        )
+        p.add_argument(
             "--retry-backoff",
             type=float,
             default=None,
@@ -538,6 +560,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 task_timeout_s=args.task_timeout,
                 retries=args.retries,
                 retry_backoff_s=args.retry_backoff,
+                batch_chunk_lanes=args.batch_chunk_lanes,
+                batch_chunk_bytes=args.batch_chunk_bytes,
             )
             telemetry.configure(args.telemetry_log)
             obs_capture.configure(

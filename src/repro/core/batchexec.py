@@ -146,6 +146,10 @@ def run_executive_batch(
     outcomes: List[LaneOutcome] = []
     scratch_backups: Optional[np.ndarray] = None
     scratch_exposures: Optional[np.ndarray] = None
+    # Folded lane-cost tables are pure functions of three per-task
+    # scalars; fleet grids repeat a few device archetypes over many
+    # traces, so memoise the 4x4680-entry products within this run.
+    table_memo: dict = {}
     for lane, ex in enumerate(executives):
         start = time.perf_counter()
         reason = executive_refusal(ex)
@@ -199,10 +203,16 @@ def run_executive_batch(
             proc.energy_model.backup_base_uj
             * proc.backup_engine._blended_policy_scale()
         )
-        power_mw = power_raw * mix_weight
-        tick_e = power_mw * dt
-        backup_raw = backup_scale * state_fraction
-        reserve_tab = backup_raw * margin_f
+        table_key = (mix_weight, backup_scale, margin_f)
+        tables = table_memo.get(table_key)
+        if tables is None:
+            power_mw = power_raw * mix_weight
+            tick_e = power_mw * dt
+            backup_raw = backup_scale * state_fraction
+            reserve_tab = backup_raw * margin_f
+            table_memo[table_key] = (power_mw, tick_e, backup_raw, reserve_tab)
+        else:
+            power_mw, tick_e, backup_raw, reserve_tab = tables
 
         period = ex.frame_period_ticks
         max_frames = (n - 1) // period + 1 if n else 1

@@ -1,0 +1,40 @@
+"""Fleet-scale scenario simulation: thousands of heterogeneous devices.
+
+The paper evaluates one wristwatch NVP on five measured power
+profiles. This package opens the workload up to population scale — the
+"millions of users" story told honestly, where the users are devices:
+
+* :class:`FleetSpec` describes a fleet as weighted device archetypes
+  (harvester mode, bitwidth, retention policy, capacitor size and
+  device-to-device spread) and expands it deterministically into one
+  :class:`FleetDeviceTask` per device, each with its own seeded
+  vectorised harvester trace
+  (:func:`repro.energy.traces.synthesize_trace`);
+* the tasks ride the ordinary engine pipeline — content-addressed
+  caching (``fleet-`` prefixed entries), the chunk-sharded batch tier,
+  robust retries/telemetry — via :func:`repro.analysis.engine.run_grid`;
+* :func:`run_fleet` aggregates the per-device results into fleet
+  distributions: forward-progress and availability percentiles, an
+  availability CDF, energy per unit of progress, and per-archetype
+  summaries, exported as mergeable
+  :class:`repro.obs.metrics.MetricsRegistry` histograms.
+"""
+
+from .spec import (
+    DEFAULT_ARCHETYPES,
+    FleetArchetype,
+    FleetDeviceTask,
+    FleetSpec,
+    clear_fleet_trace_memo,
+)
+from .runner import FleetResult, run_fleet
+
+__all__ = [
+    "DEFAULT_ARCHETYPES",
+    "FleetArchetype",
+    "FleetDeviceTask",
+    "FleetSpec",
+    "FleetResult",
+    "run_fleet",
+    "clear_fleet_trace_memo",
+]

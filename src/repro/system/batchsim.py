@@ -56,6 +56,8 @@ __all__ = [
     "LaneOutcome",
     "BatchTracePlan",
     "build_trace_plan",
+    "chunk_lane_indices",
+    "estimate_plan_bytes",
     "run_fixed_batch",
     "batch_available",
 ]
@@ -224,6 +226,136 @@ def build_trace_plan(
     )
 
 
+# -- chunk planning -----------------------------------------------------------
+#
+# A single global plan pads every slot to the longest trace in the
+# grid: (S, n_max) float64/int64 arrays whose footprint — and, worse,
+# whose explicit pad *writes* (the skip schedules fill with ``n`` past
+# the valid length) — scale as S x n_max even when most slots are far
+# shorter. Chunking packs length-similar slots together so each shard
+# pads only to its own longest member, bounding both memory and the
+# pad-write cost; because the replay kernel never reads padding, any
+# chunking of a grid is bit-exact with the unchunked plan by
+# construction (pinned by ``tests/test_batch_chunks.py``).
+
+#: Worst-case plan bytes per (slot, tick): conv float64 + sticky uint8
+#: + nonsticky int64 + income int64 + optional direct float64. The
+#: skip schedules are at most one entry per tick, so this bounds them.
+_PLAN_BYTES_PER_TICK = 33
+
+
+def estimate_plan_bytes(lengths: Sequence[int]) -> int:
+    """Upper-bound the padded-plan footprint for slots of ``lengths``.
+
+    ``lengths`` holds one entry per *slot* (distinct (trace, config)
+    pair); the estimate is ``n_slots * max(lengths)`` ticks at the
+    worst-case per-tick width, matching how :func:`build_trace_plan`
+    pads every per-slot array to the longest member.
+    """
+    if not lengths:
+        return 0
+    return int(len(lengths)) * int(max(lengths)) * _PLAN_BYTES_PER_TICK
+
+
+def chunk_lane_indices(
+    lengths: Sequence[int],
+    keys: Optional[Sequence] = None,
+    max_lanes: Optional[int] = None,
+    max_bytes: Optional[int] = None,
+) -> List[List[int]]:
+    """Partition lanes into memory-bounded, dedup-aware chunks.
+
+    Parameters
+    ----------
+    lengths:
+        Per-lane trace tick counts (cheap to obtain without
+        synthesising the trace — see ``synth_trace_ticks``).
+    keys:
+        Optional per-lane dedup keys: lanes with equal keys share one
+        plan slot (same (trace, config) precompute) and are kept in
+        the same chunk whenever budgets allow, so the shared slot is
+        built once per chunk rather than once per lane. ``None``
+        treats every lane as its own slot.
+    max_lanes:
+        Lane-count budget per chunk (``--batch-chunk-lanes``).
+    max_bytes:
+        Padded-plan byte budget per chunk, compared against
+        :func:`estimate_plan_bytes`. A chunk always admits at least
+        one dedup group even when that group alone exceeds the budget
+        (budgets bound waste, they cannot split a slot).
+
+    Returns a list of chunks — each a sorted list of original lane
+    indices — covering every lane exactly once. The partition is a
+    pure function of the arguments (deterministic): groups are packed
+    longest-first so a chunk's padding is set by its first member and
+    only length-similar slots share a shard.
+    """
+    n_lanes = len(lengths)
+    if keys is not None and len(keys) != n_lanes:
+        raise ValueError(
+            f"keys has {len(keys)} entries for {n_lanes} lanes"
+        )
+    if max_lanes is not None:
+        max_lanes = check_int_in_range(max_lanes, "max_lanes", 1, 1 << 40)
+    if max_bytes is not None:
+        max_bytes = check_int_in_range(max_bytes, "max_bytes", 1, 1 << 60)
+    if n_lanes == 0:
+        return []
+    if max_lanes is None and max_bytes is None:
+        return [list(range(n_lanes))]
+
+    # Group lanes by dedup key, preserving first-seen order for ties.
+    group_of: Dict = {}
+    groups: List[List[int]] = []
+    for lane in range(n_lanes):
+        key = keys[lane] if keys is not None else lane
+        g = group_of.get(key)
+        if g is None:
+            group_of[key] = len(groups)
+            groups.append([lane])
+        else:
+            groups[g].append(lane)
+
+    # Split any group larger than the lane budget (its pieces still
+    # dedup within their own chunk), then order units longest-first.
+    units: List[Tuple[int, int, List[int]]] = []  # (length, order, lanes)
+    for order, lanes in enumerate(groups):
+        length = max(int(lengths[i]) for i in lanes)
+        if max_lanes is not None and len(lanes) > max_lanes:
+            for off in range(0, len(lanes), max_lanes):
+                units.append((length, order, lanes[off: off + max_lanes]))
+        else:
+            units.append((length, order, lanes))
+    units.sort(key=lambda u: (-u[0], u[1]))
+
+    chunks: List[List[int]] = []
+    cur: List[int] = []
+    cur_slots = 0
+    cur_ticks = 0  # n_max of the open chunk (first unit, longest-first)
+    for length, _, lanes in units:
+        if cur:
+            over_lanes = (
+                max_lanes is not None and len(cur) + len(lanes) > max_lanes
+            )
+            over_bytes = (
+                max_bytes is not None
+                and (cur_slots + 1) * cur_ticks * _PLAN_BYTES_PER_TICK
+                > max_bytes
+            )
+            if over_lanes or over_bytes:
+                chunks.append(cur)
+                cur, cur_slots, cur_ticks = [], 0, 0
+        if not cur:
+            cur_ticks = length
+        cur.extend(lanes)
+        cur_slots += 1
+    if cur:
+        chunks.append(cur)
+    for chunk in chunks:
+        chunk.sort()
+    return chunks
+
+
 # -- lane specs and outcomes --------------------------------------------------
 
 
@@ -265,14 +397,13 @@ class _FixedLaneSetup:
     income_energy_uj: float
 
 
-def _fixed_lane_setup(
-    spec: FixedLaneSpec, slot: int, plan: BatchTracePlan
-) -> _FixedLaneSetup:
-    """Per-lane setup mirroring ``fast_fixed_run``'s setup phase.
+def _fixed_lane_constants(spec: FixedLaneSpec) -> Tuple[np.ndarray, np.ndarray]:
+    """The trace-independent half of the lane setup: ``(dp, backup_cost)``.
 
-    Raises the same :class:`SimulationError` the fast path would for an
-    unstartable configuration; the caller converts that into a refusal
-    so the per-task tier re-raises it through the normal machinery.
+    Everything here depends only on (bits, simd_width, policy, mix,
+    config) — never on the trace — so :func:`run_fixed_batch` memoises
+    it across the lanes of a run (fleet grids repeat a handful of
+    device archetypes across thousands of distinct traces).
     """
     cfg = spec.resolved_config()
     proc = NonvolatileProcessor(policy=spec.policy, mix=spec.mix)
@@ -321,14 +452,50 @@ def _fixed_lane_setup(
         ],
         dtype=np.float64,
     )
+    return dp, backup_cost
+
+
+def _fixed_lane_setup(
+    spec: FixedLaneSpec,
+    slot: int,
+    plan: BatchTracePlan,
+    memo: Optional[Dict] = None,
+) -> _FixedLaneSetup:
+    """Per-lane setup mirroring ``fast_fixed_run``'s setup phase.
+
+    Raises the same :class:`SimulationError` the fast path would for an
+    unstartable configuration; the caller converts that into a refusal
+    so the per-task tier re-raises it through the normal machinery.
+    ``memo`` caches the trace-independent constants within one call of
+    :func:`run_fixed_batch`; policy/mix are keyed by identity, with the
+    references pinned in the memo value so the ids stay valid for the
+    memo's lifetime.
+    """
+    if memo is None:
+        dp, backup_cost = _fixed_lane_constants(spec)
+    else:
+        key = (
+            spec.bits,
+            spec.simd_width,
+            id(spec.policy),
+            id(spec.mix),
+            spec.config,
+        )
+        hit = memo.get(key)
+        if hit is not None and hit[0] is spec.policy and hit[1] is spec.mix:
+            dp, backup_cost = hit[2], hit[3]
+        else:
+            dp, backup_cost = _fixed_lane_constants(spec)
+            memo[key] = (spec.policy, spec.mix, dp, backup_cost)
+
     n = int(plan.lengths[slot])
     ip = np.array(
         [
             n,
             int(plan.nonsticky_len[slot]),
             int(plan.income_len[slot]),
-            bits,
-            simd_width,
+            int(spec.bits),
+            int(spec.simd_width),
             1 if plan.has_direct[slot] else 0,
             n,  # backup_ticks capacity: one backup needs >= 1 run tick
         ],
@@ -360,12 +527,13 @@ def run_fixed_batch(
         )
     outcomes: List[LaneOutcome] = []
     scratch_backups: Optional[np.ndarray] = None
+    setup_memo: Dict = {}
     for lane, spec in enumerate(specs):
         start = time.perf_counter()
         slot = int(plan.slot_of[lane])
         n = int(plan.lengths[slot])
         try:
-            setup = _fixed_lane_setup(spec, slot, plan)
+            setup = _fixed_lane_setup(spec, slot, plan, memo=setup_memo)
         except SimulationError as exc:
             outcomes.append(
                 LaneOutcome(

@@ -1,0 +1,277 @@
+"""Chunk-sharded batch tier: planning properties and invariance.
+
+Chunking is a memory/scheduling concern only — the contract under test
+is that ANY partition of a grid into chunks (any lane budget, any byte
+budget, any lane order, pooled or in-process dispatch) produces
+bit-identical results and byte-identical cache entries versus the
+unchunked batch tier, while ``chunk_lane_indices`` itself stays a
+deterministic, lane-covering, budget-respecting pure function.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import telemetry
+from repro.analysis import engine as engine_mod
+from repro.analysis.engine import (
+    ExecutiveTask,
+    FixedBitTask,
+    GridSpec,
+    ResultCache,
+    executive_results_equal,
+    run_executive_grid,
+    run_grid,
+    simulation_results_equal,
+)
+from repro.system.batchsim import (
+    _PLAN_BYTES_PER_TICK,
+    batch_available,
+    chunk_lane_indices,
+    estimate_plan_bytes,
+)
+
+pytestmark = [pytest.mark.batch, pytest.mark.fleet]
+
+
+@pytest.fixture(autouse=True)
+def _fresh_engine():
+    engine_mod.reset()
+    engine_mod.configure(use_cache=False)
+    yield
+    engine_mod.reset()
+
+
+class TestChunkPlanning:
+    def test_no_budgets_single_chunk(self):
+        assert chunk_lane_indices([5, 9, 2]) == [[0, 1, 2]]
+
+    def test_empty(self):
+        assert chunk_lane_indices([]) == []
+        assert chunk_lane_indices([], max_lanes=4) == []
+
+    def test_lane_budget_respected(self):
+        chunks = chunk_lane_indices([10, 10, 10, 10, 10], max_lanes=2)
+        assert sorted(i for c in chunks for i in c) == [0, 1, 2, 3, 4]
+        assert all(len(c) <= 2 for c in chunks)
+
+    def test_byte_budget_respected(self):
+        # 4 lanes x 1000 ticks; budget fits two padded lanes per chunk.
+        budget = 2 * 1000 * _PLAN_BYTES_PER_TICK
+        chunks = chunk_lane_indices([1000] * 4, max_bytes=budget)
+        assert all(
+            estimate_plan_bytes([1000] * len(c)) <= budget for c in chunks
+        )
+        assert sorted(i for c in chunks for i in c) == [0, 1, 2, 3]
+
+    def test_oversized_group_still_admitted(self):
+        # One lane alone above the byte budget must still get a chunk.
+        chunks = chunk_lane_indices([10_000], max_bytes=1)
+        assert chunks == [[0]]
+
+    def test_length_similar_lanes_share_chunks(self):
+        # Longest-first packing keeps one long lane from padding every
+        # short lane: shorts end up in their own chunk(s).
+        lengths = [100_000] + [1_000] * 6
+        budget = 3 * 100_000 * _PLAN_BYTES_PER_TICK
+        chunks = chunk_lane_indices(lengths, max_bytes=budget)
+        long_chunk = next(c for c in chunks if 0 in c)
+        short_only = [c for c in chunks if 0 not in c]
+        assert short_only, "short lanes must not all pad to the long lane"
+        total = sum(
+            estimate_plan_bytes([lengths[i] for i in c]) for c in chunks
+        )
+        assert total < estimate_plan_bytes(lengths)
+        assert len(long_chunk) <= 3
+
+    def test_dedup_keys_stay_together(self):
+        lengths = [50, 50, 50, 50, 50, 50]
+        keys = ["a", "b", "a", "b", "a", "b"]
+        chunks = chunk_lane_indices(lengths, keys=keys, max_lanes=3)
+        for chunk in chunks:
+            assert len({keys[i] for i in chunk}) == 1
+
+    def test_oversized_dedup_group_splits(self):
+        chunks = chunk_lane_indices([7] * 5, keys=["k"] * 5, max_lanes=2)
+        assert sorted(i for c in chunks for i in c) == [0, 1, 2, 3, 4]
+        assert all(len(c) <= 2 for c in chunks)
+
+    def test_deterministic(self):
+        lengths = [3, 14, 15, 9, 2, 6, 5, 35]
+        a = chunk_lane_indices(lengths, max_lanes=3)
+        b = chunk_lane_indices(lengths, max_lanes=3)
+        assert a == b
+
+    def test_key_count_mismatch_raises(self):
+        with pytest.raises(ValueError, match="keys has"):
+            chunk_lane_indices([1, 2], keys=["x"])
+
+    def test_invalid_budgets_raise(self):
+        with pytest.raises(Exception):
+            chunk_lane_indices([1], max_lanes=0)
+        with pytest.raises(Exception):
+            chunk_lane_indices([1], max_bytes=0)
+
+    def test_estimate_plan_bytes(self):
+        assert estimate_plan_bytes([]) == 0
+        assert (
+            estimate_plan_bytes([10, 20, 5])
+            == 3 * 20 * _PLAN_BYTES_PER_TICK
+        )
+
+    @given(
+        lengths=st.lists(
+            st.integers(min_value=1, max_value=5000), min_size=1, max_size=60
+        ),
+        max_lanes=st.one_of(st.none(), st.integers(min_value=1, max_value=10)),
+        max_bytes=st.one_of(
+            st.none(),
+            st.integers(min_value=1, max_value=20_000 * _PLAN_BYTES_PER_TICK),
+        ),
+        key_mod=st.integers(min_value=1, max_value=7),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_partition_properties(self, lengths, max_lanes, max_bytes, key_mod):
+        keys = [i % key_mod for i in range(len(lengths))]
+        chunks = chunk_lane_indices(
+            lengths, keys=keys, max_lanes=max_lanes, max_bytes=max_bytes
+        )
+        flat = [i for c in chunks for i in c]
+        # Every lane exactly once, each chunk sorted.
+        assert sorted(flat) == list(range(len(lengths)))
+        assert all(c == sorted(c) for c in chunks)
+        if max_lanes is not None:
+            assert all(len(c) <= max_lanes for c in chunks)
+
+
+def _grid_tasks():
+    # Heterogeneous durations so padding differs across chunkings.
+    durations = (0.3, 1.0, 0.3, 0.7, 1.0, 0.5)
+    return [
+        FixedBitTask(profile_id=1 + (i % 3), bits=8 - i, duration_s=d)
+        for i, d in enumerate(durations)
+    ]
+
+
+def _exec_tasks():
+    return [
+        ExecutiveTask(
+            kernel="median",
+            policy=policy,
+            profile_id=pid,
+            minbits=4,
+            duration_s=d,
+        )
+        for policy, pid, d in (
+            ("linear", 1, 0.5),
+            ("log", 2, 1.0),
+            ("linear", 3, 0.5),
+            ("parabola", 1, 1.0),
+        )
+    ]
+
+
+@pytest.mark.skipif(not batch_available(), reason="accelerator unavailable")
+class TestChunkSplitInvariance:
+    def _run_fixed(self, tasks, lanes, bytes_, workers=1):
+        engine_mod.reset()
+        engine_mod.configure(
+            use_cache=False, batch_chunk_lanes=lanes, batch_chunk_bytes=bytes_
+        )
+        return run_grid(tasks, workers=workers, batch=True)
+
+    def test_any_lane_budget_is_bit_identical(self):
+        tasks = _grid_tasks()
+        baseline = self._run_fixed(tasks, 0, 0)
+        for lanes in (1, 2, 3, 5):
+            chunked = self._run_fixed(tasks, lanes, 0)
+            for a, b in zip(baseline.results, chunked.results):
+                assert simulation_results_equal(a, b)
+
+    def test_byte_budget_is_bit_identical(self):
+        tasks = _grid_tasks()
+        baseline = self._run_fixed(tasks, 0, 0)
+        chunked = self._run_fixed(tasks, 0, 2 * 10_000 * _PLAN_BYTES_PER_TICK)
+        for a, b in zip(baseline.results, chunked.results):
+            assert simulation_results_equal(a, b)
+
+    def test_permuted_lane_order_is_bit_identical(self):
+        tasks = _grid_tasks()
+        baseline = self._run_fixed(tasks, 0, 0)
+        order = [3, 0, 5, 1, 4, 2]
+        permuted = self._run_fixed([tasks[i] for i in order], 2, 0)
+        for pos, i in enumerate(order):
+            assert simulation_results_equal(
+                baseline.results[i], permuted.results[pos]
+            )
+
+    def test_pooled_chunk_dispatch_is_bit_identical(self):
+        tasks = _grid_tasks()
+        baseline = self._run_fixed(tasks, 0, 0)
+        pooled = self._run_fixed(tasks, 2, 0, workers=3)
+        report = telemetry.last_report()
+        assert report.pool_failures == 0
+        for a, b in zip(baseline.results, pooled.results):
+            assert simulation_results_equal(a, b)
+
+    def test_chunked_runs_report_batch_chunk_tier(self):
+        self._run_fixed(_grid_tasks(), 2, 0)
+        tiers = {
+            t.executed_in
+            for t in telemetry.last_report().tasks
+            if t.status == "computed"
+        }
+        assert tiers == {"batch-chunk"}
+
+    def test_single_chunk_keeps_plain_batch_tier(self):
+        self._run_fixed(_grid_tasks(), 0, 0)
+        tiers = {
+            t.executed_in
+            for t in telemetry.last_report().tasks
+            if t.status == "computed"
+        }
+        assert tiers == {"batch"}
+
+    def test_executive_chunking_is_bit_identical(self):
+        tasks = _exec_tasks()
+        engine_mod.configure(
+            use_cache=False, batch_chunk_lanes=0, batch_chunk_bytes=0
+        )
+        baseline = run_executive_grid(tasks, batch=True)
+        for lanes, workers in ((1, 1), (2, 1), (2, 3)):
+            engine_mod.reset()
+            engine_mod.configure(use_cache=False, batch_chunk_lanes=lanes)
+            chunked = run_executive_grid(tasks, workers=workers, batch=True)
+            for a, b in zip(baseline.results, chunked.results):
+                assert executive_results_equal(a, b)
+
+    def test_chunked_cache_entries_byte_identical_to_unchunked(self, tmp_path):
+        tasks = _grid_tasks()
+        blobs = {}
+        for label, lanes, workers in (
+            ("unchunked", 0, 1),
+            ("chunked", 2, 1),
+            ("pooled", 2, 3),
+        ):
+            engine_mod.reset()
+            engine_mod.configure(
+                use_cache=True, batch_chunk_lanes=lanes, batch_chunk_bytes=0
+            )
+            cache = ResultCache(tmp_path / label)
+            run_grid(tasks, workers=workers, cache=cache, batch=True)
+            blobs[label] = {
+                p.name: p.read_bytes()
+                for p in sorted((tmp_path / label).glob("*.npz"))
+            }
+        assert blobs["unchunked"].keys() == blobs["chunked"].keys()
+        assert blobs["unchunked"].keys() == blobs["pooled"].keys()
+        for name, blob in blobs["unchunked"].items():
+            assert blobs["chunked"][name] == blob, name
+            assert blobs["pooled"][name] == blob, name
+
+    def test_chunking_knobs_validated(self):
+        with pytest.raises(Exception):
+            engine_mod.configure(batch_chunk_lanes=-1)
+        with pytest.raises(Exception):
+            engine_mod.configure(batch_chunk_bytes=-5)

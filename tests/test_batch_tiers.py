@@ -173,18 +173,25 @@ class TestCacheTierIndependence:
     def test_fixed_cache_entries_byte_identical_across_tiers(self, tmp_path):
         grid = GridSpec(profile_ids=(1, 3), bits=(8, 2), duration_s=1.0)
         dirs = {}
-        for tier, kwargs in (
-            ("batch", {"batch": True}),
-            ("fast", {"batch": False}),
-            ("reference", {"batch": False, "engine": "reference"}),
+        for tier, chunk_lanes, kwargs in (
+            ("batch", 0, {"batch": True}),
+            ("chunked-batch", 2, {"batch": True}),
+            ("fast", 0, {"batch": False}),
+            ("reference", 0, {"batch": False, "engine": "reference"}),
         ):
             engine_mod.reset()
-            engine_mod.configure(use_cache=True)
+            engine_mod.configure(use_cache=True, batch_chunk_lanes=chunk_lanes)
             cache = ResultCache(tmp_path / tier)
             run_grid(grid, cache=cache, **kwargs)
             dirs[tier] = self._fixed_keyed_files(tmp_path / tier)
-        assert dirs["batch"].keys() == dirs["fast"].keys() == dirs["reference"].keys()
+        assert (
+            dirs["batch"].keys()
+            == dirs["chunked-batch"].keys()
+            == dirs["fast"].keys()
+            == dirs["reference"].keys()
+        )
         for name in dirs["batch"]:
+            assert dirs["batch"][name] == dirs["chunked-batch"][name], name
             assert dirs["batch"][name] == dirs["fast"][name], name
             assert dirs["batch"][name] == dirs["reference"][name], name
 

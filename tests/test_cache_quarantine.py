@@ -212,3 +212,67 @@ def test_unusable_cache_dir_raises_configuration_error(tmp_path):
         engine.ResultCache(blocker)
     with pytest.raises(ConfigurationError):
         engine.configure(cache_dir=blocker)
+
+
+# -- concurrent-writer safety -------------------------------------------------
+
+
+def test_in_flight_tmp_files_are_invisible(tmp_path):
+    """A half-written entry must never be seen, counted or quarantined.
+
+    Writers stage into ``.tmp-*.npz.tmp`` and ``os.replace`` into
+    place; every ``*.npz`` glob (``info``/``verify``/``clear``/len)
+    must therefore skip in-flight files — a torn write from a
+    concurrent process is not a corrupt entry.
+    """
+    cache = engine.ResultCache(tmp_path)
+    _seed_fixed_entry(cache)
+    torn = tmp_path / ".tmp-abc123.npz.tmp"
+    torn.write_bytes(b"half-written garbage")
+    assert len(cache) == 1
+    info = cache.info()
+    assert info["entries"] == 1
+    assert info["quarantined"] == 0
+    scan = cache.verify()
+    assert scan["checked"] == 1
+    assert scan["quarantined"] == 0
+    assert torn.exists(), "verify must not touch in-flight writes"
+
+
+def test_clear_sweeps_stale_tmp_files(tmp_path):
+    cache = engine.ResultCache(tmp_path)
+    _seed_fixed_entry(cache)
+    (tmp_path / ".tmp-dead.npz.tmp").write_bytes(b"orphaned")
+    removed = cache.clear()
+    assert removed == 1  # tmp files are swept but not counted
+    assert not list(tmp_path.glob(".tmp-*"))
+
+
+def test_concurrent_writers_never_tear_entries(tmp_path):
+    """N threads racing to put the same key leave one healthy entry."""
+    import threading
+
+    cache = engine.ResultCache(tmp_path)
+    result = TASK.run()
+    key = TASK.cache_key()
+    errors = []
+
+    def writer():
+        try:
+            for _ in range(10):
+                cache.put(key, result)
+                got = engine.ResultCache(tmp_path).get(key)
+                assert got is not None, "reader saw a torn entry"
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=writer) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    assert cache.quarantined_count() == 0
+    loaded = cache.get(key)
+    assert loaded is not None
+    assert engine.simulation_results_equal(loaded, result)

@@ -261,3 +261,60 @@ class TestReportCommand:
         log.write_text("")
         assert main(["report", "--log", str(log)]) == 0
         assert "no run events" in capsys.readouterr().out
+
+
+@pytest.mark.fleet
+class TestFleetWiring:
+    """The fleet artifact and chunk knobs ride the standard CLI paths."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_engine(self, monkeypatch):
+        monkeypatch.setitem(
+            EXPERIMENT_RUNNERS,
+            "fleet",
+            lambda: E.fleet_campaign(n_devices=8, seed=2, duration_s=0.3),
+        )
+        engine.reset()
+        yield
+        engine.reset()
+
+    def test_run_fleet_artifact(self, capsys):
+        assert main(["run", "fleet", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "[fleet]" in out
+        assert "archetype" in out
+
+    def test_chunk_flags_configure_engine(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "fleet",
+                    "--no-cache",
+                    "--batch-chunk-lanes",
+                    "3",
+                    "--batch-chunk-bytes",
+                    "0",
+                ]
+            )
+            == 0
+        )
+        assert engine._CONFIG["batch_chunk_lanes"] == 3
+        assert engine._CONFIG["batch_chunk_bytes"] == 0
+
+    def test_invalid_chunk_flag_fails_cleanly(self, capsys):
+        assert (
+            main(["run", "fleet", "--batch-chunk-lanes", "-2", "--no-cache"])
+            == 2
+        )
+        assert "error" in capsys.readouterr().err
+
+    def test_cache_info_lists_fleet_row(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["run", "fleet", "--cache-dir", cache_dir]) == 0
+        engine.reset()
+        capsys.readouterr()
+        assert main(["cache", "info", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "fleet" in out
+        assert " 8" in out

@@ -177,3 +177,74 @@ class TestPropertyBased:
         assert len(left) + len(right) == len(trace)
         total = left.total_energy_uj + right.total_energy_uj
         assert total == pytest.approx(trace.total_energy_uj, rel=1e-9)
+
+
+@pytest.mark.fleet
+class TestSyntheticTraces:
+    """Seeded vectorized generator modes (fleet-scale synthesis)."""
+
+    def _synth(self, mode, seed, **kw):
+        from repro.energy.traces import synthesize_trace
+
+        return synthesize_trace(mode, seed, **kw)
+
+    def test_modes_registry(self):
+        from repro.energy.traces import SYNTH_TRACE_MODES
+
+        assert SYNTH_TRACE_MODES == ("rf", "solar", "thermal")
+
+    @pytest.mark.parametrize("mode", ["solar", "rf", "thermal"])
+    def test_deterministic_for_seed(self, mode):
+        a = self._synth(mode, seed=123, duration_s=1.5, scale=1.25)
+        b = self._synth(mode, seed=123, duration_s=1.5, scale=1.25)
+        assert np.array_equal(a.samples_uw, b.samples_uw)
+        assert a.name == b.name == f"{mode}-123"
+
+    @pytest.mark.parametrize("mode", ["solar", "rf", "thermal"])
+    def test_seed_sensitivity(self, mode):
+        a = self._synth(mode, seed=1, duration_s=1.0)
+        b = self._synth(mode, seed=2, duration_s=1.0)
+        assert not np.array_equal(a.samples_uw, b.samples_uw)
+
+    @pytest.mark.parametrize("mode", ["solar", "rf", "thermal"])
+    @pytest.mark.parametrize("duration_s", [0.01, 0.5, 10.0])
+    def test_length_matches_synth_trace_ticks(self, mode, duration_s):
+        from repro.energy.traces import synth_trace_ticks
+
+        trace = self._synth(mode, seed=5, duration_s=duration_s)
+        assert len(trace) == synth_trace_ticks(duration_s)
+
+    @pytest.mark.parametrize("mode", ["solar", "rf", "thermal"])
+    def test_nonnegative_and_not_all_zero(self, mode):
+        # Regression: over-long smoothing windows once collapsed the
+        # dropout quantile to a constant and zeroed whole short traces.
+        for duration_s in (0.25, 1.0, 4.0):
+            trace = self._synth(mode, seed=9, duration_s=duration_s)
+            samples = trace.samples_uw
+            assert np.all(samples >= 0.0)
+            assert np.mean(samples > 0.0) > 0.5
+            assert np.mean(samples) > 1.0
+
+    def test_scale_multiplies_samples(self):
+        base = self._synth("thermal", seed=4, duration_s=1.0)
+        scaled = self._synth("thermal", seed=4, duration_s=1.0, scale=2.5)
+        assert np.allclose(scaled.samples_uw, 2.5 * base.samples_uw)
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(TraceError, match="unknown synthetic trace mode"):
+            self._synth("tidal", seed=0)
+
+    def test_bad_scale_raises(self):
+        with pytest.raises(TraceError):
+            self._synth("solar", seed=0, scale=0.0)
+
+    def test_generator_params_pass_through(self):
+        quiet = self._synth("rf", seed=7, duration_s=1.0, mean_gap_ticks=5000.0)
+        busy = self._synth("rf", seed=7, duration_s=1.0, mean_gap_ticks=10.0)
+        assert busy.mean_power_uw > quiet.mean_power_uw
+
+    def test_synth_trace_ticks_floor(self):
+        from repro.energy.traces import synth_trace_ticks
+
+        assert synth_trace_ticks(TICK_S / 10) == 1
+        assert synth_trace_ticks(1.0) == round(1.0 / TICK_S)
