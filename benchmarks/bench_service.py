@@ -1,0 +1,291 @@
+"""Campaign-service load snapshot: sustained RPS + tail latency.
+
+Stands up a real in-thread campaign service (HTTP on an ephemeral
+port, shared sharded cache with hot tier) and drives it with many
+concurrent client threads through three phases:
+
+1. **cold** — every client submits a distinct campaign; the engine
+   computes everything and the shared cache fills;
+2. **warm** — the same campaigns resubmitted by all clients at once;
+   everything must be served from the cache (hot tier first), which is
+   where the service earns its throughput;
+3. **faulted** — one campaign submitted under a seeded
+   :class:`~repro.analysis.faults.FaultPlan` that crashes a worker
+   mid-job; the engine must retry to completion and the payload must
+   be byte-identical to the clean run.
+
+Byte-identity is re-verified in-run: a sample of streamed entries is
+compared against direct engine encodings before any number is
+reported (``bit_exact`` in the JSON is asserted, not assumed).
+Results land in ``BENCH_service.json``; CI runs ``--quick``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py            # full load
+    PYTHONPATH=src python benchmarks/bench_service.py --quick    # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import base64
+import json
+import pathlib
+import platform
+import statistics
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro import __version__
+from repro.analysis import engine, faults, telemetry
+from repro.analysis.engine import GridSpec, fixed_entry_bytes, run_grid
+from repro.service import (
+    http_cache_info,
+    http_results,
+    http_submit,
+    http_wait,
+    start_in_thread,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def _campaigns(quick: bool, n_clients: int):
+    """One distinct small campaign per client, overlapping on purpose."""
+    duration = 0.3 if quick else 0.5
+    base_bits = (3, 4, 5, 6, 7, 8)
+    out = []
+    for i in range(n_clients):
+        bits = sorted({base_bits[i % 6], base_bits[(i + 2) % 6]})
+        out.append(
+            {
+                "kind": "grid",
+                "grid": {
+                    "kernels": ["median"],
+                    "bits": bits,
+                    "profile_ids": [1 + i % 2],
+                    "duration_s": duration,
+                },
+            }
+        )
+    return out
+
+
+def _client(base_url, payload):
+    t0 = time.perf_counter()
+    job = http_submit(base_url, payload)
+    done = http_wait(base_url, job["id"], timeout=600)
+    latency = time.perf_counter() - t0
+    if done["status"] != "done":
+        raise AssertionError(
+            f"job {job['id']} ended {done['status']}: {done.get('error')}"
+        )
+    return latency, done
+
+
+def _drive(base_url, payloads, n_clients):
+    t0 = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=n_clients) as pool:
+        results = list(
+            pool.map(lambda p: _client(base_url, p), payloads)
+        )
+    wall = time.perf_counter() - t0
+    latencies = sorted(latency for latency, _ in results)
+    dones = [done for _, done in results]
+    return {
+        "requests": len(payloads),
+        "wall_s": round(wall, 3),
+        "throughput_rps": round(len(payloads) / wall, 2),
+        "p50_latency_ms": round(
+            statistics.median(latencies) * 1000.0, 2
+        ),
+        "p95_latency_ms": round(
+            latencies[max(0, int(len(latencies) * 0.95) - 1)] * 1000.0, 2
+        ),
+        "max_latency_ms": round(latencies[-1] * 1000.0, 2),
+        "computed": sum(d["telemetry"]["computed"] for d in dones),
+        "cache_hits": sum(d["telemetry"]["cache_hits"] for d in dones),
+    }, dones
+
+
+def run_benchmark(n_clients: int, rounds: int, quick: bool) -> dict:
+    engine.reset()
+    telemetry.reset()
+    faults.clear()
+
+    payloads = _campaigns(quick, n_clients)
+    # Direct baseline for byte-identity, computed before the service
+    # reconfigures the engine (private cache, engine defaults).
+    baseline_payload = payloads[0]
+    baseline_spec = GridSpec(
+        **{
+            key: tuple(value) if isinstance(value, list) else value
+            for key, value in baseline_payload["grid"].items()
+        }
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        baseline_grid = run_grid(
+            baseline_spec.tasks(),
+            engine="auto",
+            cache=engine.ResultCache(tmp),
+        )
+        expected = {
+            f"{task.cache_key()}.npz": fixed_entry_bytes(result)
+            for task, result in baseline_grid
+        }
+
+    cache_root = tempfile.mkdtemp(prefix="bench-service-cache-")
+    handle = start_in_thread(
+        cache_root, capacity=max(64, 4 * n_clients), workers=4
+    )
+    snapshot: dict = {
+        "benchmark": "campaign service under concurrent client load",
+        "version": __version__,
+        "python": platform.python_version(),
+        "quick": quick,
+        "clients": n_clients,
+        "queue_workers": 4,
+    }
+    try:
+        base_url = handle.base_url
+
+        cold, _ = _drive(base_url, payloads, n_clients)
+        snapshot["cold"] = cold
+
+        warm_payloads = payloads * rounds
+        warm, warm_dones = _drive(base_url, warm_payloads, n_clients)
+        snapshot["warm"] = warm
+        if warm["computed"] != 0:
+            raise AssertionError(
+                f"warm phase recomputed {warm['computed']} task(s); "
+                "the shared cache is not sharing"
+            )
+
+        # In-run byte-identity: the service's streamed entries for the
+        # baseline campaign must match the direct engine encoding.
+        baseline_done = _client(base_url, baseline_payload)[1]
+        served = {
+            line["name"]: base64.b64decode(line["entry"])
+            for line in http_results(base_url, baseline_done["id"])
+            if line["type"] == "task"
+        }
+        if served != expected:
+            raise AssertionError(
+                "service stream diverged from the direct engine run"
+            )
+
+        # Injected worker crash mid-job: the engine retries and the
+        # final payload stays byte-identical.
+        plan = faults.FaultPlan.seeded(
+            23,
+            n_tasks=len(baseline_spec.tasks()),
+            crashes=1,
+            scope="fixed",
+        )
+        crash_payload = {
+            "kind": "grid",
+            "grid": {
+                **baseline_payload["grid"],
+                "duration_s": baseline_payload["grid"]["duration_s"] + 0.1,
+            },
+        }
+        crash_spec = GridSpec(
+            **{
+                key: tuple(value) if isinstance(value, list) else value
+                for key, value in crash_payload["grid"].items()
+            }
+        )
+        with tempfile.TemporaryDirectory() as tmp:
+            crash_clean = {
+                f"{task.cache_key()}.npz": fixed_entry_bytes(result)
+                for task, result in run_grid(
+                    crash_spec.tasks(),
+                    engine="auto",
+                    cache=engine.ResultCache(tmp),
+                )
+            }
+        with faults.injected(plan):
+            crash_latency, crash_done = _client(base_url, crash_payload)
+        crash_served = {
+            line["name"]: base64.b64decode(line["entry"])
+            for line in http_results(base_url, crash_done["id"])
+            if line["type"] == "task"
+        }
+        if crash_served != crash_clean:
+            raise AssertionError(
+                "crashed-and-retried job diverged from the clean run"
+            )
+        if crash_done["telemetry"]["crashes"] < 1:
+            raise AssertionError("the injected crash never fired")
+        snapshot["faulted"] = {
+            "injected_crashes": crash_done["telemetry"]["crashes"],
+            "retries": crash_done["telemetry"]["retries"],
+            "latency_ms": round(crash_latency * 1000.0, 2),
+            "completed": True,
+        }
+
+        info = http_cache_info(base_url)
+        if info["quarantined"] != 0:
+            raise AssertionError(
+                f"{info['quarantined']} entr(ies) quarantined under load"
+            )
+        snapshot["cache"] = {
+            "entries": info["entries"],
+            "shards": info["shards"],
+            "hot_hits": info["hot_hits"],
+            "hot_entries": info["hot_entries"],
+            "quarantined": info["quarantined"],
+        }
+        snapshot["throughput_rps"] = warm["throughput_rps"]
+        snapshot["p95_latency_ms"] = warm["p95_latency_ms"]
+        snapshot["bit_exact"] = True
+    finally:
+        handle.close()
+        engine.reset()
+        telemetry.reset()
+        faults.clear()
+    return snapshot
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="shorter campaigns, fewer warm rounds (CI smoke)",
+    )
+    parser.add_argument(
+        "--clients",
+        type=int,
+        default=8,
+        help="concurrent client threads (default: 8)",
+    )
+    parser.add_argument(
+        "--rounds",
+        type=int,
+        default=None,
+        help="warm resubmission rounds per client (default: 10, quick: 3)",
+    )
+    parser.add_argument(
+        "--output",
+        default=str(REPO_ROOT / "BENCH_service.json"),
+        help="where to write the JSON snapshot",
+    )
+    args = parser.parse_args(argv)
+    if args.clients < 8:
+        parser.error("--clients must be >= 8 (the acceptance floor)")
+    rounds = args.rounds or (3 if args.quick else 10)
+
+    snapshot = run_benchmark(
+        n_clients=args.clients, rounds=rounds, quick=args.quick
+    )
+    out = pathlib.Path(args.output)
+    out.write_text(json.dumps(snapshot, indent=2) + "\n")
+    print(json.dumps(snapshot, indent=2))
+    print(f"\nwrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -327,6 +327,7 @@ def run_resilience_grid(
         workers, task_timeout_s, retries, retry_backoff_s
     )
     use_cache = bool(_CONFIG["use_cache"])
+    use_memo = use_cache and bool(_CONFIG["use_memo"])
     if cache is None and use_cache:
         cache = default_cache()
     elif not use_cache:
@@ -352,7 +353,7 @@ def run_resilience_grid(
     results: Dict[int, ResiliencePoint] = {}
     pending: List[int] = []
     for index, key in enumerate(keys):
-        hit = _POINT_MEMO.get(key) if use_cache else None
+        hit = _POINT_MEMO.get(key) if use_memo else None
         status = "memo-hit"
         if hit is None and cache is not None:
             payload = cache.get_point(key)
@@ -401,7 +402,7 @@ def run_resilience_grid(
         report.wall_s = time.perf_counter() - start
         telemetry.record(report)
 
-    if use_cache:
+    if use_memo:
         # Points are frozen value objects: safe to share, no defensive
         # copies needed (unlike the array-carrying result kinds).
         for index in range(len(tasks)):

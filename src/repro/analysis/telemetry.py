@@ -25,6 +25,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -38,6 +39,9 @@ __all__ = [
     "log_path",
     "context",
     "current_context",
+    "job_scope",
+    "current_job",
+    "collected",
     "record",
     "history",
     "last_report",
@@ -83,6 +87,7 @@ class RunReport:
 
     kind: str  #: ``fixed`` | ``executive`` | ``trace`` | ``resilience``
     context: str = ""  #: artifact label, e.g. ``"fig15"``
+    job: str = ""  #: service job id when run inside :func:`job_scope`
     engine: str = "auto"
     workers: int = 1
     n_tasks: int = 0
@@ -127,6 +132,8 @@ class RunReport:
             out.pop("tasks")
         if not out.get("device_metrics"):
             out.pop("device_metrics", None)
+        if not out.get("job"):
+            out.pop("job", None)
         return out
 
     @property
@@ -139,7 +146,30 @@ class RunReport:
 
 _HISTORY: List[RunReport] = []
 _LOG_PATH: Optional[Path] = None
-_CONTEXT: List[str] = []
+
+#: Context labels, job labels and report collectors are **per thread**:
+#: the campaign service runs concurrent jobs on worker threads, and one
+#: job's labels must never leak into another's reports. Single-threaded
+#: callers see the exact pre-service behaviour.
+_LOCAL = threading.local()
+
+#: Serialises history appends and JSONL log writes across the service's
+#: worker threads (one report line is never torn by another).
+_RECORD_LOCK = threading.Lock()
+
+
+def _context_stack() -> List[str]:
+    stack = getattr(_LOCAL, "context", None)
+    if stack is None:
+        stack = _LOCAL.context = []
+    return stack
+
+
+def _collector_stack() -> List[List[RunReport]]:
+    sinks = getattr(_LOCAL, "collectors", None)
+    if sinks is None:
+        sinks = _LOCAL.collectors = []
+    return sinks
 
 
 def configure(log_path: Optional[Union[str, os.PathLike]]) -> None:
@@ -165,40 +195,85 @@ def log_path() -> Optional[Path]:
 
 @contextmanager
 def context(label: str) -> Iterator[None]:
-    """Tag every grid run in this block with ``label`` (re-entrant)."""
-    _CONTEXT.append(str(label))
+    """Tag every grid run in this block with ``label`` (re-entrant,
+    thread-scoped)."""
+    stack = _context_stack()
+    stack.append(str(label))
     try:
         yield
     finally:
-        _CONTEXT.pop()
+        stack.pop()
 
 
 def current_context() -> str:
     """The innermost active context label (``""`` outside any)."""
-    return _CONTEXT[-1] if _CONTEXT else ""
+    stack = _context_stack()
+    return stack[-1] if stack else ""
+
+
+@contextmanager
+def job_scope(job_id: str) -> Iterator[None]:
+    """Stamp every report recorded in this block (and thread) with a
+    service job id; the campaign service wraps each job's execution so
+    its grid runs can be attributed in the history and event log."""
+    previous = getattr(_LOCAL, "job", "")
+    _LOCAL.job = str(job_id)
+    try:
+        yield
+    finally:
+        _LOCAL.job = previous
+
+
+def current_job() -> str:
+    """The active service job label (``""`` outside any job scope)."""
+    return getattr(_LOCAL, "job", "")
+
+
+@contextmanager
+def collected() -> Iterator[List[RunReport]]:
+    """Collect every report recorded by this thread inside the block.
+
+    Yields the live list; nesting works (inner collectors see a subset).
+    The service uses this to attach per-job telemetry to job status
+    without scanning the shared history.
+    """
+    sinks = _collector_stack()
+    sink: List[RunReport] = []
+    sinks.append(sink)
+    try:
+        yield sink
+    finally:
+        sinks.remove(sink)
 
 
 def record(report: RunReport) -> None:
     """Add ``report`` to the history and append it to the event log."""
-    _HISTORY.append(report)
-    del _HISTORY[:-HISTORY_LIMIT]
-    if _LOG_PATH is None:
-        return
-    lines = [json.dumps({"event": "run", **report.to_dict()}, sort_keys=True)]
-    for task in report.tasks:
-        lines.append(
-            json.dumps(
-                {
-                    "event": "task",
-                    "kind": report.kind,
-                    "context": report.context,
-                    **task.to_dict(),
-                },
-                sort_keys=True,
+    if not report.job:
+        report.job = current_job()
+    for sink in _collector_stack():
+        sink.append(report)
+    with _RECORD_LOCK:
+        _HISTORY.append(report)
+        del _HISTORY[:-HISTORY_LIMIT]
+        if _LOG_PATH is None:
+            return
+        lines = [
+            json.dumps({"event": "run", **report.to_dict()}, sort_keys=True)
+        ]
+        for task in report.tasks:
+            lines.append(
+                json.dumps(
+                    {
+                        "event": "task",
+                        "kind": report.kind,
+                        "context": report.context,
+                        **task.to_dict(),
+                    },
+                    sort_keys=True,
+                )
             )
-        )
-    with open(_LOG_PATH, "a", encoding="utf-8") as handle:
-        handle.write("\n".join(lines) + "\n")
+        with open(_LOG_PATH, "a", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
 
 
 def history() -> List[RunReport]:
@@ -215,11 +290,14 @@ def last_report(kind: Optional[str] = None) -> Optional[RunReport]:
 
 
 def reset() -> None:
-    """Drop the history, the context stack and the log configuration."""
+    """Drop the history, this thread's scopes and the log configuration."""
     global _LOG_PATH
-    _HISTORY.clear()
-    _CONTEXT.clear()
-    _LOG_PATH = None
+    with _RECORD_LOCK:
+        _HISTORY.clear()
+        _LOG_PATH = None
+    _context_stack().clear()
+    _collector_stack().clear()
+    _LOCAL.job = ""
 
 
 # -- event-log reading (the ``repro-experiments report`` command) --------------

@@ -20,6 +20,8 @@ Usage (also via ``python -m repro``):
     repro-experiments report --log run.jsonl          # summarise a recorded campaign
     repro-experiments run fig15 --trace-out trace.json --metrics-out metrics.json
     repro-experiments trace summary trace.json        # top energy consumers + outages
+    repro-experiments serve --cache-dir .cache --port 8787  # campaign service
+    repro-experiments submit --url http://127.0.0.1:8787 --file campaign.json
 
 ``--trace-out`` records a device-level trace of every *computed* task
 (cache hits carry no trace) as Chrome trace-event JSON — load it in
@@ -41,6 +43,7 @@ silently dropped.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -246,6 +249,98 @@ def _cmd_resilience(args: "argparse.Namespace") -> int:
         )
         return 1
     print(result.as_table())
+    return 0
+
+
+def _cmd_serve(args: "argparse.Namespace") -> int:
+    """Run the campaign service until interrupted."""
+    import asyncio
+
+    from .service import create_service
+
+    try:
+        service = create_service(
+            args.cache_dir,
+            capacity=args.capacity,
+            workers=args.queue_workers,
+            hot_bytes=args.hot_bytes,
+            engine_workers=args.workers,
+        )
+        telemetry.configure(args.telemetry_log)
+    except (ConfigurationError, OSError, ValueError) as exc:
+        print(f"repro-experiments serve: error: {exc}", file=sys.stderr)
+        return 2
+
+    async def _serve() -> None:
+        await service.start(host=args.host, port=args.port)
+        print(
+            f"campaign service on http://{args.host}:{service.port} "
+            f"(cache: {service.cache.cache_dir}, "
+            f"queue: {args.queue_workers} worker(s), "
+            f"capacity {args.capacity})",
+            flush=True,
+        )
+        await service.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("campaign service stopped")
+    except OSError as exc:
+        print(f"repro-experiments serve: error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_submit(args: "argparse.Namespace") -> int:
+    """Submit a campaign file to a running service and stream results."""
+    from .service import http_results, http_submit, http_wait
+
+    try:
+        if args.file == "-":
+            payload = json.load(sys.stdin)
+        else:
+            with open(args.file, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"repro-experiments submit: error: {exc}", file=sys.stderr)
+        return 2
+    base_url = args.url.rstrip("/")
+    try:
+        job = http_submit(base_url, payload)
+        job_id = job["id"]
+        print(f"submitted {job_id} ({job['kind']}, {job['n_tasks']} task(s))")
+        if args.no_wait:
+            return 0
+        done = http_wait(base_url, job_id, timeout=args.timeout)
+    except (RuntimeError, TimeoutError, OSError) as exc:
+        print(f"repro-experiments submit: error: {exc}", file=sys.stderr)
+        return 1
+    status = done.get("status")
+    report = done.get("telemetry", {})
+    print(
+        f"{job_id}: {status} in {done.get('wall_s', 0.0):.3f}s "
+        f"(computed {report.get('computed', 0)}, "
+        f"cache hits {report.get('cache_hits', 0)})"
+    )
+    if status != "done":
+        if done.get("error"):
+            print(done["error"], file=sys.stderr)
+        return 1
+    if args.output is None:
+        return 0
+    try:
+        lines = http_results(base_url, job_id)
+        blob = "\n".join(json.dumps(line, sort_keys=True) for line in lines)
+        if args.output == "-":
+            print(blob)
+        else:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(blob + "\n")
+            print(f"wrote {len(lines)} result line(s) to {args.output}")
+    except (RuntimeError, OSError) as exc:
+        print(f"repro-experiments submit: error: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -527,6 +622,91 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="N",
         help="show only the last N runs (default: all)",
     )
+    serve = sub.add_parser(
+        "serve", help="run the campaign service (HTTP, shared cache)"
+    )
+    serve.add_argument(
+        "--cache-dir",
+        required=True,
+        metavar="DIR",
+        help="directory of the shared sharded result cache",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8787,
+        help="listening port, 0 for ephemeral (default: 8787)",
+    )
+    serve.add_argument(
+        "--capacity",
+        type=int,
+        default=64,
+        metavar="N",
+        help="max queued+running jobs before 503 (default: 64)",
+    )
+    serve.add_argument(
+        "--queue-workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="campaign worker threads (default: 2)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="engine processes per grid (default: 1)",
+    )
+    serve.add_argument(
+        "--hot-bytes",
+        type=int,
+        default=64 * 1024 * 1024,
+        metavar="BYTES",
+        help="in-memory hot-tier budget (default: 64 MiB)",
+    )
+    serve.add_argument(
+        "--telemetry-log",
+        default=None,
+        metavar="PATH",
+        help="append one JSONL event per executed grid (see 'report')",
+    )
+    submit = sub.add_parser(
+        "submit", help="submit a campaign to a running service"
+    )
+    submit.add_argument(
+        "--url",
+        required=True,
+        metavar="URL",
+        help="service base URL, e.g. http://127.0.0.1:8787",
+    )
+    submit.add_argument(
+        "--file",
+        required=True,
+        metavar="PATH",
+        help="campaign JSON file ('-' reads stdin)",
+    )
+    submit.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write the JSONL result stream here ('-' prints it)",
+    )
+    submit.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        metavar="SECONDS",
+        help="how long to wait for completion (default: 600)",
+    )
+    submit.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="enqueue and return without waiting for the job",
+    )
     trace = sub.add_parser(
         "trace", help="inspect a recorded device trace"
     )
@@ -596,6 +776,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                 rc = 1
             obs_capture.reset()
         return rc
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
     if args.command == "trace":
         return _cmd_trace_summary(args.trace_file, args.top)
     if args.command == "profiles":

@@ -22,6 +22,9 @@ __all__ = [
     "QualityError",
     "EngineExecutionError",
     "InjectedFaultError",
+    "JobCancelledError",
+    "QueueFullError",
+    "ServiceError",
 ]
 
 
@@ -88,3 +91,20 @@ class InjectedFaultError(ReproError, RuntimeError):
     Only ever raised by :mod:`repro.analysis.faults` when a test or
     benchmark has installed a fault plan; production runs never see it.
     """
+
+
+class ServiceError(ReproError, RuntimeError):
+    """Base class for campaign-service failures (:mod:`repro.service`)."""
+
+
+class JobCancelledError(ServiceError):
+    """A campaign run was cancelled mid-flight.
+
+    Raised inside the engine when a cancellation scope
+    (:func:`repro.analysis.engine.cancel_scope`) is tripped between
+    waves; the service translates it into a ``cancelled`` job status.
+    """
+
+
+class QueueFullError(ServiceError):
+    """The service job queue is at capacity; the submission was refused."""

@@ -1,0 +1,49 @@
+"""Campaign service: simulation-as-a-service over HTTP.
+
+The long-running front end of the experiment engine (ROADMAP item 1):
+an asyncio HTTP server accepts grid / executive / resilience / fleet
+campaign submissions as JSON, enqueues them on a bounded job queue,
+executes them through the existing robust engine on a worker pool —
+many concurrent clients sharing one sharded, hot-tiered result cache —
+and streams status plus JSONL results back.
+
+* :mod:`repro.service.protocol` — campaign parsing/validation, the
+  result-line encoding (byte-identical to the on-disk cache entries by
+  construction), and a stdlib HTTP client;
+* :mod:`repro.service.queue` — the bounded job queue, worker threads,
+  per-campaign singleflight and cancellation;
+* :mod:`repro.service.app` — the hand-rolled asyncio HTTP server and
+  the in-thread service handle used by tests, benchmarks and the CLI.
+"""
+
+from __future__ import annotations
+
+from .app import CampaignService, ServiceHandle, create_service, start_in_thread
+from .protocol import (
+    Campaign,
+    execute_campaign,
+    http_cache_info,
+    http_health,
+    http_results,
+    http_submit,
+    http_wait,
+    parse_campaign,
+)
+from .queue import CampaignQueue, Job
+
+__all__ = [
+    "Campaign",
+    "CampaignQueue",
+    "CampaignService",
+    "Job",
+    "ServiceHandle",
+    "create_service",
+    "execute_campaign",
+    "http_cache_info",
+    "http_health",
+    "http_results",
+    "http_submit",
+    "http_wait",
+    "parse_campaign",
+    "start_in_thread",
+]

@@ -1,0 +1,426 @@
+"""The campaign service HTTP front end.
+
+A deliberately small, hand-rolled HTTP/1.1 server on
+``asyncio.start_server`` — the environment ships no third-party web
+framework, and the service's surface (five JSON routes plus one JSONL
+stream) does not need one. The event loop only parses requests and
+shuttles bytes; every campaign executes on the
+:class:`~repro.service.queue.CampaignQueue` worker threads, so a
+long-running grid never blocks health checks or status polls.
+
+Routes::
+
+    GET    /healthz            liveness + queue occupancy
+    GET    /cache              shared sharded-cache info (incl. hot tier)
+    GET    /jobs               all job status documents
+    POST   /jobs               submit a campaign  -> 202 + job status
+    GET    /jobs/<id>[?wait=S] one job's status (optionally long-poll)
+    GET    /jobs/<id>/results  finished job's JSONL result stream
+    DELETE /jobs/<id>          request cancellation
+
+Error mapping: malformed campaign -> 400, unknown job -> 404,
+results before completion -> 409, queue at capacity -> 503.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import threading
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from ..analysis import engine as engine_mod
+from ..analysis.engine import ShardedResultCache, configure
+from ..errors import ConfigurationError, QueueFullError
+from .queue import CampaignQueue
+
+__all__ = [
+    "CampaignService",
+    "ServiceHandle",
+    "create_service",
+    "start_in_thread",
+]
+
+#: Campaign payloads are small JSON documents; anything bigger than
+#: this is a malfunctioning client, not a campaign.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+#: Per-request header/body read deadline.
+READ_TIMEOUT_S = 30.0
+
+_STATUS_TEXT = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+def create_service(
+    cache_dir,
+    capacity: int = 64,
+    workers: int = 2,
+    hot_bytes: int = ShardedResultCache.DEFAULT_HOT_BYTES,
+    engine_workers: int = 1,
+) -> "CampaignService":
+    """Build a service around a fresh shared sharded cache.
+
+    Configures the process-wide engine for service duty: the sharded
+    cache with its hot tier, ``engine_workers`` engine processes per
+    grid (default 1 — concurrency comes from the queue's worker
+    threads), and ``use_memo=False`` so repeat hits land in the
+    byte-bounded hot tier instead of the unbounded process memo.
+    """
+    cache = ShardedResultCache(cache_dir, hot_bytes=hot_bytes)
+    configure(cache=cache, use_memo=False, workers=engine_workers)
+    return CampaignService(
+        cache=cache, capacity=capacity, workers=workers
+    )
+
+
+class CampaignService:
+    """HTTP front end over a :class:`CampaignQueue` and a shared cache."""
+
+    def __init__(
+        self,
+        cache: ShardedResultCache,
+        capacity: int = 64,
+        workers: int = 2,
+    ) -> None:
+        self.cache = cache
+        self.queue = CampaignQueue(capacity=capacity, workers=workers)
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # -- request handling ------------------------------------------------------
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, bytes]]:
+        """Parse one request; returns (method, target, body) or None on EOF."""
+        header_blob = await asyncio.wait_for(
+            reader.readuntil(b"\r\n\r\n"), timeout=READ_TIMEOUT_S
+        )
+        head, _, _ = header_blob.partition(b"\r\n\r\n")
+        lines = head.decode("latin-1").split("\r\n")
+        parts = lines[0].split(" ")
+        if len(parts) != 3:
+            raise ValueError(f"malformed request line: {lines[0]!r}")
+        method, target, _version = parts
+        headers: Dict[str, str] = {}
+        for line in lines[1:]:
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise ValueError(f"unacceptable content-length {length}")
+        body = b""
+        if length:
+            body = await asyncio.wait_for(
+                reader.readexactly(length), timeout=READ_TIMEOUT_S
+            )
+        return method.upper(), target, body
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except (
+                    asyncio.IncompleteReadError,
+                    ConnectionResetError,
+                    asyncio.TimeoutError,
+                ):
+                    break
+                except (ValueError, asyncio.LimitOverrunError) as exc:
+                    await self._send_json(
+                        writer, 400, {"error": str(exc)}, close=True
+                    )
+                    break
+                if request is None:
+                    break
+                method, target, body = request
+                try:
+                    status, payload, raw = await self._route(
+                        method, target, body
+                    )
+                except Exception as exc:  # pragma: no cover - last resort
+                    status = 500
+                    payload = {"error": f"{type(exc).__name__}: {exc}"}
+                    raw = None
+                if raw is not None:
+                    await self._send_raw(
+                        writer, status, raw, "application/x-ndjson"
+                    )
+                else:
+                    await self._send_json(writer, status, payload)
+        except asyncio.CancelledError:
+            # Shutdown cancels idle keep-alive handlers; end quietly so
+            # the stream protocol's done-callback sees a clean task.
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _route(
+        self, method: str, target: str, body: bytes
+    ) -> Tuple[int, Dict[str, object], Optional[bytes]]:
+        split = urlsplit(target)
+        path = split.path.rstrip("/") or "/"
+        query = parse_qs(split.query)
+
+        if path == "/healthz" and method == "GET":
+            jobs = self.queue.jobs()
+            return (
+                200,
+                {
+                    "status": "ok",
+                    "jobs": len(jobs),
+                    "active": sum(
+                        1
+                        for job in jobs
+                        if job.status in ("queued", "running")
+                    ),
+                    "capacity": self.queue.capacity,
+                },
+                None,
+            )
+        if path == "/cache" and method == "GET":
+            return 200, self.cache.info(), None
+        if path == "/jobs" and method == "GET":
+            return (
+                200,
+                {"jobs": [job.to_dict() for job in self.queue.jobs()]},
+                None,
+            )
+        if path == "/jobs" and method == "POST":
+            try:
+                payload = json.loads(body.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                return 400, {"error": f"body is not JSON: {exc}"}, None
+            try:
+                job = self.queue.submit(payload)
+            except ConfigurationError as exc:
+                return 400, {"error": str(exc)}, None
+            except QueueFullError as exc:
+                return 503, {"error": str(exc)}, None
+            return 202, job.to_dict(), None
+
+        if path.startswith("/jobs/"):
+            rest = path[len("/jobs/"):]
+            job_id, _, tail = rest.partition("/")
+            job = self.queue.get(job_id)
+            if job is None:
+                return 404, {"error": f"unknown job {job_id!r}"}, None
+            if not tail and method == "GET":
+                wait_values = query.get("wait")
+                if wait_values:
+                    try:
+                        wait_s = min(max(float(wait_values[0]), 0.0), 60.0)
+                    except ValueError:
+                        return (
+                            400,
+                            {"error": f"bad wait value {wait_values[0]!r}"},
+                            None,
+                        )
+                    if wait_s:
+                        # Block on a pool thread, never the event loop.
+                        await asyncio.get_running_loop().run_in_executor(
+                            None, job.done_event.wait, wait_s
+                        )
+                return 200, job.to_dict(), None
+            if not tail and method == "DELETE":
+                self.queue.cancel(job_id)
+                return 200, job.to_dict(), None
+            if tail == "results" and method == "GET":
+                if job.status != "done":
+                    return (
+                        409,
+                        {
+                            "error": (
+                                f"job {job_id} is {job.status}, not done"
+                            ),
+                            "status": job.status,
+                        },
+                        None,
+                    )
+                blob = ("\n".join(job.result_lines) + "\n").encode("utf-8")
+                return 200, {}, blob
+
+        if path in ("/healthz", "/cache", "/jobs") or path.startswith(
+            "/jobs/"
+        ):
+            return 405, {"error": f"{method} not allowed on {path}"}, None
+        return 404, {"error": f"no route for {path}"}, None
+
+    # -- response writing ------------------------------------------------------
+
+    async def _send_raw(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: bytes,
+        content_type: str,
+        close: bool = False,
+    ) -> None:
+        reason = _STATUS_TEXT.get(status, "Unknown")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'close' if close else 'keep-alive'}\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        writer.write(head)
+        # Stream large JSONL bodies in chunks so one giant result blob
+        # never sits duplicated in a single write buffer.
+        for offset in range(0, len(body), 1 << 16):
+            writer.write(body[offset : offset + (1 << 16)])
+            await writer.drain()
+        if not body:
+            await writer.drain()
+
+    async def _send_json(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Dict[str, object],
+        close: bool = False,
+    ) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        await self._send_raw(
+            writer, status, body, "application/json", close=close
+        )
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_client, host=host, port=port
+        )
+
+    @property
+    def port(self) -> int:
+        assert self._server is not None, "service not started"
+        sockets = self._server.sockets or ()
+        for sock in sockets:
+            if sock.family in (socket.AF_INET, socket.AF_INET6):
+                return sock.getsockname()[1]
+        raise RuntimeError("service has no listening socket")
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "service not started"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.queue.close()
+
+
+class ServiceHandle:
+    """A service running on a background thread — the test/bench harness.
+
+    ``base_url`` points at the ephemeral port; :meth:`close` tears down
+    the event loop, the listener and the queue workers.
+    """
+
+    def __init__(
+        self,
+        service: CampaignService,
+        loop: asyncio.AbstractEventLoop,
+        thread: threading.Thread,
+    ) -> None:
+        self.service = service
+        self._loop = loop
+        self._thread = thread
+        self.port = service.port
+        self.base_url = f"http://127.0.0.1:{self.port}"
+
+    def close(self, timeout_s: float = 10.0) -> None:
+        if self._thread.is_alive():
+            future = asyncio.run_coroutine_threadsafe(
+                self._shutdown(), self._loop
+            )
+            future.result(timeout=timeout_s)
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=timeout_s)
+        if not self._loop.is_closed():
+            self._loop.close()
+
+    async def _shutdown(self) -> None:
+        await self.service.aclose()
+        # Idle keep-alive connections still sit in a read; cancel them
+        # so the loop stops clean instead of warning about them.
+        current = asyncio.current_task()
+        for task in asyncio.all_tasks():
+            if task is not current:
+                task.cancel()
+
+    def __enter__(self) -> "ServiceHandle":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+def start_in_thread(
+    cache_dir,
+    capacity: int = 64,
+    workers: int = 2,
+    hot_bytes: int = ShardedResultCache.DEFAULT_HOT_BYTES,
+    engine_workers: int = 1,
+    host: str = "127.0.0.1",
+) -> ServiceHandle:
+    """Start a fully wired service on a daemon thread; returns its handle."""
+    service = create_service(
+        cache_dir,
+        capacity=capacity,
+        workers=workers,
+        hot_bytes=hot_bytes,
+        engine_workers=engine_workers,
+    )
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+    failure: list = []
+
+    def _run() -> None:
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(service.start(host=host, port=0))
+        except Exception as exc:  # pragma: no cover - bind failure
+            failure.append(exc)
+            started.set()
+            return
+        started.set()
+        loop.run_forever()
+
+    thread = threading.Thread(
+        target=_run, name="campaign-service", daemon=True
+    )
+    thread.start()
+    if not started.wait(timeout=10.0):
+        raise RuntimeError("campaign service failed to start in time")
+    if failure:
+        raise failure[0]
+    return ServiceHandle(service=service, loop=loop, thread=thread)
+
+
+def current_cache() -> Optional[ShardedResultCache]:
+    """The engine's configured cache when it is the service's sharded kind."""
+    cache = engine_mod._CONFIG.get("cache")
+    return cache if isinstance(cache, ShardedResultCache) else None

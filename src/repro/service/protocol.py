@@ -1,0 +1,445 @@
+"""Campaign service wire protocol: parsing, execution, result encoding.
+
+A campaign submission is one JSON object::
+
+    {"kind": "grid",       "grid": {...GridSpec fields...}}
+    {"kind": "grid",       "tasks": [{...FixedBitTask fields...}, ...]}
+    {"kind": "executive",  "tasks": [{...ExecutiveTask fields...}, ...]}
+    {"kind": "resilience", "campaign": {...ResilienceCampaign fields...}}
+    {"kind": "fleet",      "fleet": {...FleetSpec fields..., "archetypes": [...]}}
+
+plus an optional ``"engine"`` override (``auto`` / ``fast`` /
+``reference``; resilience campaigns default to ``reference`` like the
+CLI does). :func:`parse_campaign` validates the payload into real task
+objects **at submission time**, so a malformed campaign is a 400 at
+the door, never a failed job.
+
+Results stream back as JSONL, one line per task in deterministic task
+order. Array-carrying results (grid / executive / fleet) are encoded
+with the *same* entry codec the on-disk cache uses
+(:func:`repro.analysis.engine.fixed_entry_bytes` et al.), transported
+as base64 — so the bytes a client receives are, by construction,
+byte-identical to the ``.npz`` file a direct run writes into the
+cache. Resilience points travel as sorted-key JSON, identical to their
+cache payloads. The conformance suite
+(``tests/test_service_conformance.py``) holds this line.
+"""
+
+from __future__ import annotations
+
+import base64
+import dataclasses
+import hashlib
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis import telemetry
+from ..analysis.engine import (
+    ExecutiveTask,
+    FixedBitTask,
+    GridSpec,
+    cancel_scope,
+    executive_entry_bytes,
+    fixed_entry_bytes,
+    run_executive_grid,
+    run_grid,
+)
+from ..analysis.resilience import ResilienceCampaign, run_resilience_grid
+from ..errors import ConfigurationError
+from ..fleet import FleetArchetype, FleetSpec, run_fleet
+
+__all__ = [
+    "CAMPAIGN_KINDS",
+    "Campaign",
+    "parse_campaign",
+    "execute_campaign",
+    "http_submit",
+    "http_wait",
+    "http_results",
+    "http_cache_info",
+    "http_health",
+]
+
+CAMPAIGN_KINDS = ("grid", "executive", "resilience", "fleet")
+
+_ENGINE_CHOICES = ("auto", "fast", "reference")
+
+
+@dataclass(frozen=True)
+class Campaign:
+    """One parsed, validated campaign submission.
+
+    ``tasks`` holds the materialised task tuple for grid/executive/
+    resilience kinds; fleet campaigns carry their :class:`FleetSpec`
+    in ``fleet`` (device tasks expand inside :func:`run_fleet`).
+    """
+
+    kind: str
+    engine: str
+    tasks: Tuple = ()
+    fleet: Optional[FleetSpec] = None
+    #: The normalised submission payload (for signatures and echoes).
+    payload: Dict[str, object] = dataclasses.field(default_factory=dict)
+
+    def signature(self) -> str:
+        """Content hash of the submission — the singleflight identity.
+
+        Two submissions with equal signatures describe the identical
+        campaign, so the queue serialises them against each other and
+        the second one is served almost entirely from cache.
+        """
+        return hashlib.sha256(
+            json.dumps(self.payload, sort_keys=True).encode("utf-8")
+        ).hexdigest()
+
+    @property
+    def n_tasks(self) -> int:
+        if self.kind == "fleet":
+            assert self.fleet is not None
+            return self.fleet.n_devices
+        return len(self.tasks)
+
+
+def _build(cls, data: object, what: str):
+    """Construct a dataclass from a JSON object, with strict fields.
+
+    JSON lists become tuples (every tuple-typed spec field arrives as
+    a list on the wire); unknown keys are a
+    :class:`~repro.errors.ConfigurationError` naming the offender, so
+    a typo'd field name fails loudly at submission time.
+    """
+    if not isinstance(data, dict):
+        raise ConfigurationError(
+            f"{what} must be a JSON object, got {type(data).__name__}"
+        )
+    known = {f.name for f in dataclasses.fields(cls)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise ConfigurationError(
+            f"{what} has unknown field(s) {unknown}; expected a subset "
+            f"of {sorted(known)}"
+        )
+    kwargs = {
+        key: tuple(value) if isinstance(value, list) else value
+        for key, value in data.items()
+    }
+    try:
+        return cls(**kwargs)
+    except (TypeError, ValueError) as exc:
+        raise ConfigurationError(f"invalid {what}: {exc}") from exc
+
+
+def parse_campaign(payload: object) -> Campaign:
+    """Validate a submission payload into a :class:`Campaign`.
+
+    Raises :class:`~repro.errors.ConfigurationError` on any malformed
+    submission (the service maps that to HTTP 400).
+    """
+    if not isinstance(payload, dict):
+        raise ConfigurationError(
+            f"campaign must be a JSON object, got {type(payload).__name__}"
+        )
+    kind = payload.get("kind")
+    if kind not in CAMPAIGN_KINDS:
+        raise ConfigurationError(
+            f"kind must be one of {CAMPAIGN_KINDS}, got {kind!r}"
+        )
+    engine = payload.get("engine")
+    if engine is None:
+        engine = "reference" if kind == "resilience" else "auto"
+    if engine not in _ENGINE_CHOICES:
+        raise ConfigurationError(
+            f"engine must be one of {_ENGINE_CHOICES}, got {engine!r}"
+        )
+    allowed_keys = {"kind", "engine", "grid", "tasks", "campaign", "fleet"}
+    unknown = sorted(set(payload) - allowed_keys)
+    if unknown:
+        raise ConfigurationError(
+            f"campaign has unknown key(s) {unknown}; expected a subset "
+            f"of {sorted(allowed_keys)}"
+        )
+
+    tasks: Tuple = ()
+    fleet: Optional[FleetSpec] = None
+    if kind == "grid":
+        if ("grid" in payload) == ("tasks" in payload):
+            raise ConfigurationError(
+                "a grid campaign needs exactly one of 'grid' or 'tasks'"
+            )
+        if "grid" in payload:
+            tasks = _build(GridSpec, payload["grid"], "grid spec").tasks()
+        else:
+            task_list = payload["tasks"]
+            if not isinstance(task_list, list) or not task_list:
+                raise ConfigurationError(
+                    "'tasks' must be a non-empty list of task objects"
+                )
+            tasks = tuple(
+                _build(FixedBitTask, item, f"task {i}")
+                for i, item in enumerate(task_list)
+            )
+    elif kind == "executive":
+        task_list = payload.get("tasks")
+        if not isinstance(task_list, list) or not task_list:
+            raise ConfigurationError(
+                "an executive campaign needs a non-empty 'tasks' list"
+            )
+        tasks = tuple(
+            _build(ExecutiveTask, item, f"task {i}")
+            for i, item in enumerate(task_list)
+        )
+    elif kind == "resilience":
+        if "campaign" not in payload:
+            raise ConfigurationError(
+                "a resilience campaign needs a 'campaign' object"
+            )
+        campaign = _build(
+            ResilienceCampaign, payload["campaign"], "resilience campaign"
+        )
+        tasks = campaign.tasks()
+    else:  # fleet
+        spec_data = payload.get("fleet")
+        if not isinstance(spec_data, dict):
+            raise ConfigurationError("a fleet campaign needs a 'fleet' object")
+        spec_data = dict(spec_data)
+        archetypes = spec_data.pop("archetypes", None)
+        if archetypes is not None:
+            if not isinstance(archetypes, list) or not archetypes:
+                raise ConfigurationError(
+                    "'archetypes' must be a non-empty list of objects"
+                )
+            spec_data["archetypes"] = [
+                _build(FleetArchetype, item, f"archetype {i}")
+                for i, item in enumerate(archetypes)
+            ]
+        fleet = _build(FleetSpec, spec_data, "fleet spec")
+
+    normalised = json.loads(json.dumps(payload, sort_keys=True))
+    normalised["engine"] = engine
+    return Campaign(
+        kind=kind, engine=engine, tasks=tasks, fleet=fleet, payload=normalised
+    )
+
+
+# -- execution + result encoding ----------------------------------------------
+
+
+def _entry_line(index: int, name: str, data: bytes) -> str:
+    return json.dumps(
+        {
+            "type": "task",
+            "index": index,
+            "name": name,
+            "entry": base64.b64encode(data).decode("ascii"),
+        },
+        sort_keys=True,
+    )
+
+
+def execute_campaign(
+    campaign: Campaign,
+    cancel_event: Optional["threading.Event"] = None,
+) -> Tuple[List[str], Dict[str, object]]:
+    """Run ``campaign`` through the engine; returns (JSONL lines, summary).
+
+    Uses the process-wide engine configuration (cache, workers, batch
+    tier) exactly like a direct :func:`run_grid` call would — that is
+    the whole point: the service path adds transport, never semantics.
+    A set ``cancel_event`` aborts between engine waves/tasks with
+    :class:`~repro.errors.JobCancelledError`.
+    """
+    scope = cancel_scope(cancel_event) if cancel_event is not None else None
+    lines: List[str] = []
+    summary: Dict[str, object] = {"kind": campaign.kind}
+    if scope is not None:
+        scope.__enter__()
+    try:
+        if campaign.kind == "grid":
+            grid = run_grid(campaign.tasks, engine=campaign.engine)
+            for i, (task, result) in enumerate(grid):
+                lines.append(
+                    _entry_line(
+                        i, f"{task.cache_key()}.npz", fixed_entry_bytes(result)
+                    )
+                )
+        elif campaign.kind == "executive":
+            grid = run_executive_grid(campaign.tasks, engine=campaign.engine)
+            for i, (task, result) in enumerate(grid):
+                lines.append(
+                    _entry_line(
+                        i,
+                        f"exec-{task.cache_key()}.npz",
+                        executive_entry_bytes(result),
+                    )
+                )
+        elif campaign.kind == "resilience":
+            points = run_resilience_grid(campaign.tasks, engine=campaign.engine)
+            for i, point in enumerate(points):
+                lines.append(
+                    json.dumps(
+                        {"type": "point", "index": i, "point": point.to_dict()},
+                        sort_keys=True,
+                    )
+                )
+        else:  # fleet
+            assert campaign.fleet is not None
+            fleet_result = run_fleet(campaign.fleet, engine=campaign.engine)
+            for i, (task, result) in enumerate(
+                zip(fleet_result.tasks, fleet_result.results)
+            ):
+                lines.append(
+                    _entry_line(
+                        i, f"{task.cache_key()}.npz", fixed_entry_bytes(result)
+                    )
+                )
+            summary["fleet"] = {
+                "n_devices": len(fleet_result.tasks),
+                "progress_percentiles": fleet_result.progress_percentiles,
+                "progress_rate_percentiles": (
+                    fleet_result.progress_rate_percentiles
+                ),
+                "availability_percentiles": (
+                    fleet_result.availability_percentiles
+                ),
+                "availability_cdf": {
+                    f"{threshold:g}": fraction
+                    for threshold, fraction in (
+                        fleet_result.availability_cdf.items()
+                    )
+                },
+                "energy_per_progress_percentiles": (
+                    fleet_result.energy_per_progress_percentiles
+                ),
+                "per_archetype": fleet_result.per_archetype,
+            }
+            lines.append(
+                json.dumps(
+                    {"type": "summary", **summary["fleet"]}, sort_keys=True
+                )
+            )
+    finally:
+        if scope is not None:
+            scope.__exit__(None, None, None)
+    summary["tasks"] = campaign.n_tasks
+    lines.append(
+        json.dumps(
+            {"type": "end", "count": campaign.n_tasks, "kind": campaign.kind},
+            sort_keys=True,
+        )
+    )
+    return lines, summary
+
+
+def summarize_reports(
+    reports: Sequence[telemetry.RunReport],
+) -> Dict[str, object]:
+    """Aggregate a job's collected RunReports into status telemetry."""
+    return telemetry.summarize_events(
+        [{"event": "run", **report.to_dict()} for report in reports]
+    )
+
+
+# -- stdlib HTTP client ---------------------------------------------------------
+#
+# The environment has no third-party HTTP client; urllib is entirely
+# sufficient for the service's JSON + JSONL surface, and using it here
+# keeps the CLI, tests and benchmark on one code path.
+
+
+def _request(
+    method: str,
+    url: str,
+    payload: Optional[Dict[str, object]] = None,
+    timeout: float = 30.0,
+) -> Tuple[int, bytes]:
+    data = None
+    headers = {"Accept": "application/json"}
+    if payload is not None:
+        data = json.dumps(payload).encode("utf-8")
+        headers["Content-Type"] = "application/json"
+    request = urllib.request.Request(
+        url, data=data, headers=headers, method=method
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read()
+
+
+def _json_or_error(status: int, body: bytes, what: str) -> Dict[str, object]:
+    try:
+        decoded = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise RuntimeError(
+            f"{what}: HTTP {status} with unparseable body {body[:200]!r}"
+        ) from exc
+    if status >= 400:
+        raise RuntimeError(
+            f"{what}: HTTP {status}: {decoded.get('error', decoded)}"
+        )
+    return decoded
+
+
+def http_submit(
+    base_url: str, payload: Dict[str, object], timeout: float = 30.0
+) -> Dict[str, object]:
+    """POST a campaign; returns the job status object (raises on 4xx/5xx)."""
+    status, body = _request(
+        "POST", f"{base_url}/jobs", payload, timeout=timeout
+    )
+    return _json_or_error(status, body, "submit")
+
+
+def http_wait(
+    base_url: str,
+    job_id: str,
+    timeout: float = 60.0,
+    poll_s: float = 0.05,
+) -> Dict[str, object]:
+    """Poll ``GET /jobs/<id>`` until the job leaves queued/running."""
+    deadline = time.monotonic() + timeout
+    while True:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise TimeoutError(f"job {job_id} still pending after {timeout}s")
+        wait_s = min(max(remaining, 0.01), 10.0)
+        status, body = _request(
+            "GET",
+            f"{base_url}/jobs/{job_id}?wait={wait_s:g}",
+            timeout=wait_s + 10.0,
+        )
+        job = _json_or_error(status, body, f"poll {job_id}")
+        if job.get("status") not in ("queued", "running"):
+            return job
+        time.sleep(poll_s)
+
+
+def http_results(
+    base_url: str, job_id: str, timeout: float = 60.0
+) -> List[Dict[str, object]]:
+    """Fetch and parse a finished job's streamed JSONL result lines."""
+    status, body = _request(
+        "GET", f"{base_url}/jobs/{job_id}/results", timeout=timeout
+    )
+    if status >= 400:
+        _json_or_error(status, body, f"results {job_id}")
+    lines = [line for line in body.decode("utf-8").splitlines() if line]
+    return [json.loads(line) for line in lines]
+
+
+def http_cache_info(base_url: str, timeout: float = 30.0) -> Dict[str, object]:
+    """Fetch the service's shared-cache info (``GET /cache``)."""
+    status, body = _request("GET", f"{base_url}/cache", timeout=timeout)
+    return _json_or_error(status, body, "cache info")
+
+
+def http_health(base_url: str, timeout: float = 10.0) -> Dict[str, object]:
+    """``GET /healthz``."""
+    status, body = _request("GET", f"{base_url}/healthz", timeout=timeout)
+    return _json_or_error(status, body, "health")

@@ -1,0 +1,240 @@
+"""Bounded job queue + worker pool for the campaign service.
+
+Jobs move ``queued → running → done`` (or ``failed`` / ``cancelled``).
+The queue is bounded: once ``queued + running`` reaches capacity, new
+submissions are refused with :class:`~repro.errors.QueueFullError`
+(the HTTP layer maps that to 503) — backpressure instead of unbounded
+memory growth under a client storm.
+
+Identical campaigns (equal :meth:`Campaign.signature`) are
+*singleflighted*: a per-signature lock serialises their execution, so
+when N clients submit the same grid at once, one job computes and the
+rest replay almost entirely from the shared cache. That is what bounds
+duplicate computation in the stress suite — without it, N workers
+would race each task's compute-then-put window.
+
+Each job executes under three scopes:
+
+* :func:`repro.analysis.telemetry.job_scope` — its grid reports carry
+  the job id;
+* :func:`repro.analysis.telemetry.collected` — per-job telemetry
+  summary without scanning shared history;
+* :func:`repro.analysis.engine.cancel_scope` — ``DELETE /jobs/<id>``
+  trips the event and the engine aborts between waves.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue as _queue
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..analysis import telemetry
+from ..analysis.engine import cancel_scope
+from ..errors import JobCancelledError, QueueFullError
+from .protocol import Campaign, execute_campaign, parse_campaign, summarize_reports
+
+__all__ = ["Job", "CampaignQueue"]
+
+#: Terminal job states — ``done_event`` is set exactly when one is reached.
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+
+@dataclass
+class Job:
+    """One submitted campaign and everything the service knows about it."""
+
+    id: str
+    campaign: Campaign
+    signature: str
+    status: str = "queued"
+    error: str = ""
+    created_at: float = field(default_factory=time.time)
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    #: Streamed JSONL result lines (set when status == "done").
+    result_lines: List[str] = field(default_factory=list)
+    #: Campaign-level summary from :func:`execute_campaign`.
+    summary: Dict[str, object] = field(default_factory=dict)
+    #: Aggregated per-job run telemetry (computed / cache_hits / ...).
+    telemetry: Dict[str, object] = field(default_factory=dict)
+    cancel_event: threading.Event = field(default_factory=threading.Event)
+    done_event: threading.Event = field(default_factory=threading.Event)
+
+    def to_dict(self) -> Dict[str, object]:
+        """The ``GET /jobs/<id>`` status document."""
+        out: Dict[str, object] = {
+            "id": self.id,
+            "kind": self.campaign.kind,
+            "engine": self.campaign.engine,
+            "n_tasks": self.campaign.n_tasks,
+            "signature": self.signature,
+            "status": self.status,
+            "created_at": self.created_at,
+        }
+        if self.started_at:
+            out["started_at"] = self.started_at
+        if self.finished_at:
+            out["finished_at"] = self.finished_at
+            out["wall_s"] = self.finished_at - max(
+                self.started_at, self.created_at
+            )
+        if self.error:
+            out["error"] = self.error
+        if self.telemetry:
+            out["telemetry"] = self.telemetry
+        if self.summary:
+            out["summary"] = self.summary
+        if self.status == "done":
+            out["result_lines"] = len(self.result_lines)
+        return out
+
+
+class CampaignQueue:
+    """Bounded FIFO of campaign jobs drained by daemon worker threads."""
+
+    def __init__(self, capacity: int = 64, workers: int = 2) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.capacity = int(capacity)
+        self._pending: "_queue.Queue[Optional[Job]]" = _queue.Queue()
+        self._jobs: Dict[str, Job] = {}
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._flights: Dict[str, threading.Lock] = {}
+        self._closed = False
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop,
+                name=f"campaign-worker-{i}",
+                daemon=True,
+            )
+            for i in range(int(workers))
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # -- submission / lookup ---------------------------------------------------
+
+    def submit(self, payload: object) -> Job:
+        """Parse, admit and enqueue a campaign; returns the queued job.
+
+        Raises :class:`~repro.errors.ConfigurationError` for malformed
+        payloads and :class:`~repro.errors.QueueFullError` when the
+        queue has no room (neither creates a job record).
+        """
+        campaign = parse_campaign(payload)
+        with self._lock:
+            if self._closed:
+                raise QueueFullError("campaign queue is shut down")
+            active = sum(
+                1
+                for job in self._jobs.values()
+                if job.status in ("queued", "running")
+            )
+            if active >= self.capacity:
+                raise QueueFullError(
+                    f"campaign queue at capacity ({self.capacity} active jobs)"
+                )
+            job = Job(
+                id=f"job-{next(self._ids):06d}",
+                campaign=campaign,
+                signature=campaign.signature(),
+            )
+            self._jobs[job.id] = job
+        self._pending.put(job)
+        return job
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> List[Job]:
+        """All known jobs, oldest submission first."""
+        with self._lock:
+            return sorted(self._jobs.values(), key=lambda job: job.id)
+
+    def cancel(self, job_id: str) -> Optional[Job]:
+        """Request cancellation; a still-queued job is cancelled at once."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return None
+            job.cancel_event.set()
+            if job.status == "queued":
+                job.status = "cancelled"
+                job.finished_at = time.time()
+                job.done_event.set()
+        return job
+
+    def close(self, timeout_s: float = 5.0) -> None:
+        """Stop accepting work and join the worker threads."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for _ in self._workers:
+            self._pending.put(None)
+        for worker in self._workers:
+            worker.join(timeout=timeout_s)
+
+    # -- execution -------------------------------------------------------------
+
+    def _flight_lock(self, signature: str) -> threading.Lock:
+        with self._lock:
+            lock = self._flights.get(signature)
+            if lock is None:
+                lock = self._flights[signature] = threading.Lock()
+            return lock
+
+    def _worker_loop(self) -> None:
+        while True:
+            job = self._pending.get()
+            if job is None:
+                return
+            # cancel() may have finished the job while it sat queued.
+            if job.done_event.is_set():
+                continue
+            with self._lock:
+                job.status = "running"
+                job.started_at = time.time()
+            try:
+                with self._flight_lock(job.signature):
+                    self._execute(job)
+            except BaseException:  # pragma: no cover - worker must survive
+                with self._lock:
+                    job.status = "failed"
+                    job.error = traceback.format_exc(limit=3)
+                    job.finished_at = time.time()
+                job.done_event.set()
+
+    def _execute(self, job: Job) -> None:
+        reports: List[telemetry.RunReport] = []
+        try:
+            with telemetry.job_scope(job.id):
+                with telemetry.collected() as reports:
+                    lines, summary = execute_campaign(
+                        job.campaign, cancel_event=job.cancel_event
+                    )
+            status, error = "done", ""
+        except JobCancelledError:
+            lines, summary = [], {}
+            status, error = "cancelled", ""
+        except Exception as exc:
+            lines, summary = [], {}
+            status = "failed"
+            error = f"{type(exc).__name__}: {exc}"
+        with self._lock:
+            job.result_lines = lines
+            job.summary = summary
+            job.telemetry = summarize_reports(reports)
+            job.status = status
+            job.error = error
+            job.finished_at = time.time()
+        job.done_event.set()

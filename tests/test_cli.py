@@ -318,3 +318,124 @@ class TestFleetWiring:
         out = capsys.readouterr().out
         assert "fleet" in out
         assert " 8" in out
+
+
+@pytest.mark.service
+class TestServiceCommands:
+    """`serve` wiring errors and `submit` against a live service."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_engine(self):
+        engine.reset()
+        telemetry.reset()
+        yield
+        telemetry.reset()
+        engine.reset()
+
+    @pytest.fixture
+    def service(self, tmp_path):
+        from repro.service import start_in_thread
+
+        handle = start_in_thread(tmp_path / "cli-cache", workers=2)
+        try:
+            yield handle
+        finally:
+            handle.close()
+
+    def _campaign_file(self, tmp_path):
+        import json as _json
+
+        path = tmp_path / "campaign.json"
+        path.write_text(
+            _json.dumps(
+                {
+                    "kind": "grid",
+                    "grid": {
+                        "kernels": ["median"],
+                        "bits": [3],
+                        "profile_ids": [1],
+                        "duration_s": 0.4,
+                    },
+                }
+            )
+        )
+        return str(path)
+
+    def test_submit_waits_and_writes_results(
+        self, service, tmp_path, capsys
+    ):
+        out_path = tmp_path / "results.jsonl"
+        assert (
+            main(
+                [
+                    "submit",
+                    "--url",
+                    service.base_url,
+                    "--file",
+                    self._campaign_file(tmp_path),
+                    "--output",
+                    str(out_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "submitted job-" in out
+        assert "done" in out
+        lines = out_path.read_text().splitlines()
+        assert len(lines) == 2  # one task + the end marker
+        import json as _json
+
+        assert _json.loads(lines[-1])["type"] == "end"
+
+    def test_submit_no_wait_returns_immediately(
+        self, service, tmp_path, capsys
+    ):
+        assert (
+            main(
+                [
+                    "submit",
+                    "--url",
+                    service.base_url,
+                    "--file",
+                    self._campaign_file(tmp_path),
+                    "--no-wait",
+                ]
+            )
+            == 0
+        )
+        assert "submitted job-" in capsys.readouterr().out
+
+    def test_submit_rejects_malformed_campaign(
+        self, service, tmp_path, capsys
+    ):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"kind": "warp"}')
+        assert (
+            main(["submit", "--url", service.base_url, "--file", str(bad)])
+            == 1
+        )
+        assert "HTTP 400" in capsys.readouterr().err
+
+    def test_submit_missing_file_fails_cleanly(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "submit",
+                    "--url",
+                    "http://127.0.0.1:1",
+                    "--file",
+                    str(tmp_path / "absent.json"),
+                ]
+            )
+            == 2
+        )
+        assert "error" in capsys.readouterr().err
+
+    def test_serve_rejects_unusable_cache_dir(self, tmp_path, capsys):
+        blocker = tmp_path / "blocked"
+        blocker.write_text("a file where a directory must go")
+        assert (
+            main(["serve", "--cache-dir", str(blocker), "--port", "0"]) == 2
+        )
+        assert "error" in capsys.readouterr().err
