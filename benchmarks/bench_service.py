@@ -12,7 +12,11 @@ concurrent client threads through three phases:
 3. **faulted** — one campaign submitted under a seeded
    :class:`~repro.analysis.faults.FaultPlan` that crashes a worker
    mid-job; the engine must retry to completion and the payload must
-   be byte-identical to the clean run.
+   be byte-identical to the clean run;
+4. **journaled** — the warm phase repeated against a second service
+   with the write-ahead job journal armed (fsync on every commit
+   point), measuring the durability tax as an RPS overhead percentage
+   relative to the journal-less warm phase.
 
 Byte-identity is re-verified in-run: a sample of streamed entries is
 compared against direct engine encodings before any number is
@@ -242,6 +246,84 @@ def run_benchmark(n_clients: int, rounds: int, quick: bool) -> dict:
         snapshot["bit_exact"] = True
     finally:
         handle.close()
+        engine.reset()
+        telemetry.reset()
+        faults.clear()
+
+    # -- journaled warm phase: the cost of durability ----------------------
+    # Two services over the *same* shared cache — one journal-less,
+    # one fsync-ing its write-ahead journal — driven in alternating
+    # rounds so machine noise (frequency scaling, neighbours) hits
+    # both arms equally; the overhead is the median-vs-median gap.
+    journal_dir = tempfile.mkdtemp(prefix="bench-service-journal-")
+    journal_path = pathlib.Path(journal_dir) / "journal.jsonl"
+    plain = start_in_thread(
+        cache_root, capacity=max(64, 4 * n_clients), workers=4
+    )
+    journaled_handle = start_in_thread(
+        cache_root,
+        capacity=max(64, 4 * n_clients),
+        workers=4,
+        journal=str(journal_path),
+    )
+    try:
+        for handle_ in (plain, journaled_handle):
+            _drive(handle_.base_url, payloads, n_clients)  # hot-tier warm-up
+        alternations = 3 if quick else 6
+        round_payloads = payloads * max(1, rounds // alternations)
+        plain_rps, journaled_rps, pair_overheads = [], [], []
+        for alternation in range(alternations):
+            # Flip which arm goes first each round so any first-mover
+            # advantage (page cache, scheduler) cancels across pairs.
+            order = (plain, journaled_handle)
+            if alternation % 2:
+                order = (journaled_handle, plain)
+            phases = {}
+            for handle_ in order:
+                phase, _ = _drive(
+                    handle_.base_url, round_payloads, n_clients
+                )
+                if phase["computed"] != 0:
+                    raise AssertionError(
+                        f"journal comparison recomputed "
+                        f"{phase['computed']} task(s)"
+                    )
+                phases[id(handle_)] = phase
+            plain_phase = phases[id(plain)]
+            journaled_phase = phases[id(journaled_handle)]
+            plain_rps.append(plain_phase["throughput_rps"])
+            journaled_rps.append(journaled_phase["throughput_rps"])
+            pair_overheads.append(
+                (
+                    plain_phase["throughput_rps"]
+                    - journaled_phase["throughput_rps"]
+                )
+                / plain_phase["throughput_rps"]
+                * 100.0
+            )
+        # Median of *paired* overheads: each pair ran back-to-back, so
+        # slow drift (thermal, neighbours) hits both arms of a pair and
+        # cancels, unlike a median-of-medians across the whole run.
+        overhead_pct = statistics.median(pair_overheads)
+        snapshot["journaled"] = {
+            "alternations": alternations,
+            "requests_per_round": len(round_payloads),
+            "baseline_rps": plain_rps,
+            "journaled_rps": journaled_rps,
+            "baseline_median_rps": round(statistics.median(plain_rps), 2),
+            "journaled_median_rps": round(
+                statistics.median(journaled_rps), 2
+            ),
+            "pair_overheads_pct": [round(o, 2) for o in pair_overheads],
+            "journal_records": (
+                journaled_handle.service.journal.stats.appended
+            ),
+            "fsync": True,
+            "overhead_pct": round(overhead_pct, 2),
+        }
+    finally:
+        journaled_handle.close()
+        plain.close()
         engine.reset()
         telemetry.reset()
         faults.clear()

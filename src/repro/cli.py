@@ -253,8 +253,9 @@ def _cmd_resilience(args: "argparse.Namespace") -> int:
 
 
 def _cmd_serve(args: "argparse.Namespace") -> int:
-    """Run the campaign service until interrupted."""
+    """Run the campaign service until interrupted (SIGTERM drains)."""
     import asyncio
+    import signal
 
     from .service import create_service
 
@@ -265,6 +266,8 @@ def _cmd_serve(args: "argparse.Namespace") -> int:
             workers=args.queue_workers,
             hot_bytes=args.hot_bytes,
             engine_workers=args.workers,
+            journal=args.journal,
+            drain_timeout_s=args.drain_timeout,
         )
         telemetry.configure(args.telemetry_log)
     except (ConfigurationError, OSError, ValueError) as exc:
@@ -273,14 +276,52 @@ def _cmd_serve(args: "argparse.Namespace") -> int:
 
     async def _serve() -> None:
         await service.start(host=args.host, port=args.port)
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        try:
+            loop.add_signal_handler(signal.SIGTERM, stop.set)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass  # non-POSIX loop: ctrl-C still stops the server
+        journal_note = ""
+        if service.journal is not None:
+            stats = service.journal.stats
+            journal_note = (
+                f", journal: {service.journal.path} "
+                f"(recovered {stats.recovered}, "
+                f"skipped {stats.skipped_torn + stats.skipped_corrupt})"
+            )
         print(
             f"campaign service on http://{args.host}:{service.port} "
             f"(cache: {service.cache.cache_dir}, "
             f"queue: {args.queue_workers} worker(s), "
-            f"capacity {args.capacity})",
+            f"capacity {args.capacity}{journal_note})",
             flush=True,
         )
-        await service.serve_forever()
+        serve_task = asyncio.ensure_future(service.serve_forever())
+        stop_task = asyncio.ensure_future(stop.wait())
+        await asyncio.wait(
+            {serve_task, stop_task}, return_when=asyncio.FIRST_COMPLETED
+        )
+        if stop.is_set():
+            # SIGTERM: graceful drain — refuse new work (503 +
+            # Retry-After), finish running jobs up to the deadline,
+            # journal the remainder as requeued, join the workers.
+            print("SIGTERM: draining campaign service...", flush=True)
+            summary = await loop.run_in_executor(None, service.drain)
+            print(
+                "drained: "
+                + ", ".join(
+                    f"{state}={count}"
+                    for state, count in sorted(summary.items())
+                    if count
+                ),
+                flush=True,
+            )
+        elif serve_task.done():
+            serve_task.result()  # surface listener failures
+        serve_task.cancel()
+        stop_task.cancel()
+        await service.aclose()
 
     try:
         asyncio.run(_serve())
@@ -307,12 +348,14 @@ def _cmd_submit(args: "argparse.Namespace") -> int:
         return 2
     base_url = args.url.rstrip("/")
     try:
-        job = http_submit(base_url, payload)
+        job = http_submit(base_url, payload, retries=args.retries)
         job_id = job["id"]
         print(f"submitted {job_id} ({job['kind']}, {job['n_tasks']} task(s))")
         if args.no_wait:
             return 0
-        done = http_wait(base_url, job_id, timeout=args.timeout)
+        done = http_wait(
+            base_url, job_id, timeout=args.timeout, retries=args.retries
+        )
     except (RuntimeError, TimeoutError, OSError) as exc:
         print(f"repro-experiments submit: error: {exc}", file=sys.stderr)
         return 1
@@ -330,7 +373,7 @@ def _cmd_submit(args: "argparse.Namespace") -> int:
     if args.output is None:
         return 0
     try:
-        lines = http_results(base_url, job_id)
+        lines = http_results(base_url, job_id, retries=args.retries)
         blob = "\n".join(json.dumps(line, sort_keys=True) for line in lines)
         if args.output == "-":
             print(blob)
@@ -674,6 +717,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="PATH",
         help="append one JSONL event per executed grid (see 'report')",
     )
+    serve.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write-ahead job journal; pending jobs found in it are "
+            "replayed and re-enqueued at startup (restart-safe serve)"
+        ),
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help=(
+            "on SIGTERM (or DELETE /), let running jobs finish this "
+            "long before requeueing them (default: 30)"
+        ),
+    )
     submit = sub.add_parser(
         "submit", help="submit a campaign to a running service"
     )
@@ -706,6 +768,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--no-wait",
         action="store_true",
         help="enqueue and return without waiting for the job",
+    )
+    submit.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        metavar="N",
+        help=(
+            "retry HTTP requests this many times on connection errors "
+            "and 503 responses, with jittered exponential backoff that "
+            "honors Retry-After (default: 3)"
+        ),
     )
     trace = sub.add_parser(
         "trace", help="inspect a recorded device trace"

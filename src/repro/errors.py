@@ -24,6 +24,7 @@ __all__ = [
     "InjectedFaultError",
     "JobCancelledError",
     "QueueFullError",
+    "ServiceDrainingError",
     "ServiceError",
 ]
 
@@ -108,3 +109,13 @@ class JobCancelledError(ServiceError):
 
 class QueueFullError(ServiceError):
     """The service job queue is at capacity; the submission was refused."""
+
+
+class ServiceDrainingError(ServiceError):
+    """The service is draining for shutdown; the submission was refused.
+
+    Mapped to HTTP 503 with a ``Retry-After`` hint — unlike
+    :class:`QueueFullError`, capacity will not free up in this
+    process; the client should retry against the restarted server
+    (safe, because submissions are idempotent on their content hash).
+    """

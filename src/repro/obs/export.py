@@ -30,6 +30,7 @@ __all__ = [
     "validate_chrome_trace",
     "summarize_trace",
     "format_summary",
+    "render_prometheus",
 ]
 
 #: Microseconds per simulator tick (TICK_S = 1e-4 s).
@@ -304,3 +305,61 @@ def format_summary(summary: Mapping[str, object]) -> str:
     else:
         lines.append("outages: none recorded")
     return "\n".join(lines)
+
+
+# -- Prometheus text exposition -------------------------------------------------
+#
+# First slice of the live-metrics roadmap item: any MetricsRegistry —
+# a device run's, or the campaign service's merged registry — renders
+# to the Prometheus text format (version 0.0.4) so a fleet campaign
+# can be watched by a stock scraper. Counters map to counters
+# (suffixed `_total` per convention), gauges to gauges, and the
+# fixed-bucket histograms map exactly: cumulative `_bucket{le=...}`
+# series plus `_sum` / `_count`, no re-binning.
+
+
+def _prometheus_name(name: str, prefix: str) -> str:
+    safe = "".join(
+        ch if (ch.isascii() and (ch.isalnum() or ch == "_")) else "_"
+        for ch in str(name)
+    )
+    full = f"{prefix}_{safe}" if prefix else safe
+    if not full or full[0].isdigit():
+        full = f"_{full}"
+    return full
+
+
+def _prometheus_value(value: float) -> str:
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def render_prometheus(registry, prefix: str = "repro") -> str:
+    """Render a :class:`~repro.obs.metrics.MetricsRegistry` in
+    Prometheus text format (deterministic: sorted families)."""
+    lines: List[str] = []
+    for name, value in sorted(registry.counters.items()):
+        family = _prometheus_name(name, prefix)
+        if not family.endswith("_total"):
+            family += "_total"
+        lines.append(f"# TYPE {family} counter")
+        lines.append(f"{family} {_prometheus_value(value)}")
+    for name, value in sorted(registry.gauges.items()):
+        family = _prometheus_name(name, prefix)
+        lines.append(f"# TYPE {family} gauge")
+        lines.append(f"{family} {_prometheus_value(value)}")
+    for name, hist in sorted(registry.histograms.items()):
+        family = _prometheus_name(name, prefix)
+        lines.append(f"# TYPE {family} histogram")
+        cumulative = 0
+        for bound, count in zip(hist.bounds, hist.counts):
+            cumulative += count
+            lines.append(
+                f'{family}_bucket{{le="{bound:g}"}} {cumulative}'
+            )
+        lines.append(f'{family}_bucket{{le="+Inf"}} {hist.count}')
+        lines.append(f"{family}_sum {_prometheus_value(hist.sum)}")
+        lines.append(f"{family}_count {hist.count}")
+    return "\n".join(lines) + "\n"

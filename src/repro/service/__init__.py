@@ -10,8 +10,12 @@ and streams status plus JSONL results back.
 * :mod:`repro.service.protocol` — campaign parsing/validation, the
   result-line encoding (byte-identical to the on-disk cache entries by
   construction), and a stdlib HTTP client;
+* :mod:`repro.service.journal` — the write-ahead job journal
+  (CRC-guarded JSONL, fsync on commit points) that makes the queue
+  crash-recoverable;
 * :mod:`repro.service.queue` — the bounded job queue, worker threads,
-  per-campaign singleflight and cancellation;
+  per-campaign singleflight, idempotent resubmission, cancellation
+  and graceful drain;
 * :mod:`repro.service.app` — the hand-rolled asyncio HTTP server and
   the in-thread service handle used by tests, benchmarks and the CLI.
 """
@@ -19,11 +23,13 @@ and streams status plus JSONL results back.
 from __future__ import annotations
 
 from .app import CampaignService, ServiceHandle, create_service, start_in_thread
+from .journal import JobJournal, JournalStats
 from .protocol import (
     Campaign,
     execute_campaign,
     http_cache_info,
     http_health,
+    http_metrics,
     http_results,
     http_submit,
     http_wait,
@@ -36,11 +42,14 @@ __all__ = [
     "CampaignQueue",
     "CampaignService",
     "Job",
+    "JobJournal",
+    "JournalStats",
     "ServiceHandle",
     "create_service",
     "execute_campaign",
     "http_cache_info",
     "http_health",
+    "http_metrics",
     "http_results",
     "http_submit",
     "http_wait",

@@ -10,16 +10,20 @@ long-running grid never blocks health checks or status polls.
 
 Routes::
 
-    GET    /healthz            liveness + queue occupancy
+    GET    /healthz            liveness + queue occupancy + journal state
+    GET    /metrics            Prometheus text-format metrics export
     GET    /cache              shared sharded-cache info (incl. hot tier)
     GET    /jobs               all job status documents
     POST   /jobs               submit a campaign  -> 202 + job status
+                               (200 when deduplicated onto an active job)
     GET    /jobs/<id>[?wait=S] one job's status (optionally long-poll)
     GET    /jobs/<id>/results  finished job's JSONL result stream
     DELETE /jobs/<id>          request cancellation
+    DELETE /                   begin a graceful drain (admin / tests)
 
 Error mapping: malformed campaign -> 400, unknown job -> 404,
-results before completion -> 409, queue at capacity -> 503.
+results before completion -> 409, queue at capacity or draining ->
+503 + ``Retry-After``.
 """
 
 from __future__ import annotations
@@ -28,12 +32,15 @@ import asyncio
 import json
 import socket
 import threading
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple, Union
 from urllib.parse import parse_qs, urlsplit
 
 from ..analysis import engine as engine_mod
 from ..analysis.engine import ShardedResultCache, configure
-from ..errors import ConfigurationError, QueueFullError
+from ..errors import ConfigurationError, QueueFullError, ServiceDrainingError
+from ..obs.export import render_prometheus
+from ..obs.metrics import MetricsRegistry
+from .journal import JobJournal
 from .queue import CampaignQueue
 
 __all__ = [
@@ -69,6 +76,8 @@ def create_service(
     workers: int = 2,
     hot_bytes: int = ShardedResultCache.DEFAULT_HOT_BYTES,
     engine_workers: int = 1,
+    journal: Union[str, JobJournal, None] = None,
+    drain_timeout_s: float = 30.0,
 ) -> "CampaignService":
     """Build a service around a fresh shared sharded cache.
 
@@ -77,11 +86,22 @@ def create_service(
     grid (default 1 — concurrency comes from the queue's worker
     threads), and ``use_memo=False`` so repeat hits land in the
     byte-bounded hot tier instead of the unbounded process memo.
+
+    ``journal`` (a path or a :class:`JobJournal`) arms the write-ahead
+    job journal: jobs found pending in it are replayed and re-enqueued
+    before the listener opens, so a restarted server resumes exactly
+    where the killed one stopped.
     """
     cache = ShardedResultCache(cache_dir, hot_bytes=hot_bytes)
     configure(cache=cache, use_memo=False, workers=engine_workers)
+    if journal is not None and not isinstance(journal, JobJournal):
+        journal = JobJournal(journal)
     return CampaignService(
-        cache=cache, capacity=capacity, workers=workers
+        cache=cache,
+        capacity=capacity,
+        workers=workers,
+        journal=journal,
+        drain_timeout_s=drain_timeout_s,
     )
 
 
@@ -93,10 +113,45 @@ class CampaignService:
         cache: ShardedResultCache,
         capacity: int = 64,
         workers: int = 2,
+        journal: Optional[JobJournal] = None,
+        drain_timeout_s: float = 30.0,
     ) -> None:
         self.cache = cache
-        self.queue = CampaignQueue(capacity=capacity, workers=workers)
+        self.journal = journal
+        self.drain_timeout_s = float(drain_timeout_s)
+        self.queue = CampaignQueue(
+            capacity=capacity, workers=workers, journal=journal
+        )
         self._server: Optional[asyncio.AbstractServer] = None
+        self._drain_lock = threading.Lock()
+        self._drain_thread: Optional[threading.Thread] = None
+        self._drain_summary: Dict[str, int] = {}
+
+    # -- drain -----------------------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        return self.queue.draining
+
+    def drain(self, timeout_s: Optional[float] = None) -> Dict[str, int]:
+        """Synchronous graceful drain (SIGTERM path): refuse new
+        submissions, finish running jobs up to the deadline, journal
+        the remainder as requeued, join the workers."""
+        summary = self.queue.drain(
+            self.drain_timeout_s if timeout_s is None else timeout_s
+        )
+        self._drain_summary = summary
+        return summary
+
+    def begin_drain(self) -> None:
+        """Start a drain without blocking the event loop (the
+        ``DELETE /`` admin path); idempotent."""
+        with self._drain_lock:
+            if self._drain_thread is None:
+                self._drain_thread = threading.Thread(
+                    target=self.drain, name="campaign-drain", daemon=True
+                )
+                self._drain_thread.start()
 
     # -- request handling ------------------------------------------------------
 
@@ -149,19 +204,24 @@ class CampaignService:
                     break
                 method, target, body = request
                 try:
-                    status, payload, raw = await self._route(
+                    status, payload, raw, headers = await self._route(
                         method, target, body
                     )
                 except Exception as exc:  # pragma: no cover - last resort
                     status = 500
                     payload = {"error": f"{type(exc).__name__}: {exc}"}
-                    raw = None
+                    raw, headers = None, None
                 if raw is not None:
+                    content_type = (headers or {}).pop(
+                        "Content-Type", "application/x-ndjson"
+                    )
                     await self._send_raw(
-                        writer, status, raw, "application/x-ndjson"
+                        writer, status, raw, content_type, headers=headers
                     )
                 else:
-                    await self._send_json(writer, status, payload)
+                    await self._send_json(
+                        writer, status, payload, headers=headers
+                    )
         except asyncio.CancelledError:
             # Shutdown cancels idle keep-alive handlers; end quietly so
             # the stream protocol's done-callback sees a clean task.
@@ -175,54 +235,103 @@ class CampaignService:
 
     async def _route(
         self, method: str, target: str, body: bytes
-    ) -> Tuple[int, Dict[str, object], Optional[bytes]]:
+    ) -> Tuple[
+        int,
+        Dict[str, object],
+        Optional[bytes],
+        Optional[Dict[str, str]],
+    ]:
         split = urlsplit(target)
         path = split.path.rstrip("/") or "/"
         query = parse_qs(split.query)
 
-        if path == "/healthz" and method == "GET":
-            jobs = self.queue.jobs()
+        if path == "/" and method == "DELETE":
+            # Admin drain: same state machine SIGTERM drives, reachable
+            # over HTTP so the chaos/drain suites can exercise it.
+            self.begin_drain()
             return (
                 200,
                 {
-                    "status": "ok",
-                    "jobs": len(jobs),
-                    "active": sum(
-                        1
-                        for job in jobs
-                        if job.status in ("queued", "running")
-                    ),
-                    "capacity": self.queue.capacity,
+                    "draining": True,
+                    "drain_timeout_s": self.drain_timeout_s,
+                    "jobs": self.queue.counts(),
                 },
                 None,
+                None,
+            )
+        if path == "/healthz" and method == "GET":
+            counts = self.queue.counts()
+            doc: Dict[str, object] = {
+                "status": "draining" if self.draining else "ok",
+                "draining": self.draining,
+                "jobs": len(self.queue.jobs()),
+                "jobs_by_state": counts,
+                "active": counts["queued"] + counts["running"],
+                "capacity": self.queue.capacity,
+            }
+            if self.journal is not None:
+                doc["journal"] = self.journal.stats.to_dict()
+            return 200, doc, None, None
+        if path == "/metrics" and method == "GET":
+            text = self._metrics_document()
+            return (
+                200,
+                {},
+                text.encode("utf-8"),
+                {"Content-Type": "text/plain; version=0.0.4"},
             )
         if path == "/cache" and method == "GET":
-            return 200, self.cache.info(), None
+            return 200, self.cache.info(), None, None
         if path == "/jobs" and method == "GET":
             return (
                 200,
                 {"jobs": [job.to_dict() for job in self.queue.jobs()]},
+                None,
                 None,
             )
         if path == "/jobs" and method == "POST":
             try:
                 payload = json.loads(body.decode("utf-8"))
             except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-                return 400, {"error": f"body is not JSON: {exc}"}, None
+                return 400, {"error": f"body is not JSON: {exc}"}, None, None
             try:
-                job = self.queue.submit(payload)
+                # Admission fsyncs the journal's submitted record: run
+                # it on a pool thread so the commit-point write never
+                # head-of-line-blocks every other client on the loop.
+                job, created = await asyncio.get_running_loop().run_in_executor(
+                    None, self.queue.submit, payload
+                )
             except ConfigurationError as exc:
-                return 400, {"error": str(exc)}, None
+                return 400, {"error": str(exc)}, None, None
+            except ServiceDrainingError as exc:
+                # Capacity never frees up in a draining process; point
+                # the client past the drain window at the restarted
+                # server (resubmission is idempotent).
+                retry_after = max(1, int(self.drain_timeout_s))
+                return (
+                    503,
+                    {"error": str(exc), "draining": True},
+                    None,
+                    {"Retry-After": str(retry_after)},
+                )
             except QueueFullError as exc:
-                return 503, {"error": str(exc)}, None
-            return 202, job.to_dict(), None
+                return (
+                    503,
+                    {"error": str(exc)},
+                    None,
+                    {"Retry-After": "1"},
+                )
+            doc = job.to_dict()
+            if not created:
+                doc["deduplicated"] = True
+            return (202 if created else 200), doc, None, None
 
         if path.startswith("/jobs/"):
             rest = path[len("/jobs/"):]
             job_id, _, tail = rest.partition("/")
             job = self.queue.get(job_id)
             if job is None:
-                return 404, {"error": f"unknown job {job_id!r}"}, None
+                return 404, {"error": f"unknown job {job_id!r}"}, None, None
             if not tail and method == "GET":
                 wait_values = query.get("wait")
                 if wait_values:
@@ -233,16 +342,17 @@ class CampaignService:
                             400,
                             {"error": f"bad wait value {wait_values[0]!r}"},
                             None,
+                            None,
                         )
                     if wait_s:
                         # Block on a pool thread, never the event loop.
                         await asyncio.get_running_loop().run_in_executor(
                             None, job.done_event.wait, wait_s
                         )
-                return 200, job.to_dict(), None
+                return 200, job.to_dict(), None, None
             if not tail and method == "DELETE":
                 self.queue.cancel(job_id)
-                return 200, job.to_dict(), None
+                return 200, job.to_dict(), None, None
             if tail == "results" and method == "GET":
                 if job.status != "done":
                     return (
@@ -254,15 +364,43 @@ class CampaignService:
                             "status": job.status,
                         },
                         None,
+                        None,
                     )
                 blob = ("\n".join(job.result_lines) + "\n").encode("utf-8")
-                return 200, {}, blob
+                return 200, {}, blob, None
 
-        if path in ("/healthz", "/cache", "/jobs") or path.startswith(
-            "/jobs/"
+        if path in ("/healthz", "/metrics", "/cache", "/jobs") or (
+            path.startswith("/jobs/")
         ):
-            return 405, {"error": f"{method} not allowed on {path}"}, None
-        return 404, {"error": f"no route for {path}"}, None
+            return 405, {"error": f"{method} not allowed on {path}"}, None, None
+        return 404, {"error": f"no route for {path}"}, None, None
+
+    def _metrics_document(self) -> str:
+        """Assemble the ``/metrics`` Prometheus text document.
+
+        One registry holds everything: the queue's accumulated engine
+        and device metrics (merged from every finished job's
+        RunReports), point-in-time service gauges (queue depth by
+        state, drain flag), monotonic cache counters (hot-tier hits,
+        quarantines) and the journal's replay/skip accounting.
+        """
+        registry = self.queue.metrics_snapshot()
+        for state, count in self.queue.counts().items():
+            registry.set_gauge(f"service.jobs.{state}", count)
+        registry.set_gauge("service.queue.capacity", self.queue.capacity)
+        registry.set_gauge("service.draining", int(self.draining))
+        info = self.cache.info()
+        registry.set_gauge("cache.entries", info["entries"])
+        for shard, count in info.get("shards", {}).items():
+            registry.set_gauge(f"cache.shard.{shard}.entries", count)
+        registry.set_gauge("cache.hot.entries", info.get("hot_entries", 0))
+        registry.set_gauge("cache.hot.bytes", info.get("hot_bytes", 0))
+        registry.inc("cache.hot.hits", info.get("hot_hits", 0))
+        registry.inc("cache.quarantined", info.get("quarantined", 0))
+        if self.journal is not None:
+            for name, value in self.journal.stats.to_dict().items():
+                registry.inc(f"journal.{name}", value)
+        return render_prometheus(registry)
 
     # -- response writing ------------------------------------------------------
 
@@ -273,12 +411,18 @@ class CampaignService:
         body: bytes,
         content_type: str,
         close: bool = False,
+        headers: Optional[Dict[str, str]] = None,
     ) -> None:
         reason = _STATUS_TEXT.get(status, "Unknown")
+        extra = "".join(
+            f"{name}: {value}\r\n"
+            for name, value in sorted((headers or {}).items())
+        )
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extra}"
             f"Connection: {'close' if close else 'keep-alive'}\r\n"
             "\r\n"
         ).encode("latin-1")
@@ -297,10 +441,16 @@ class CampaignService:
         status: int,
         payload: Dict[str, object],
         close: bool = False,
+        headers: Optional[Dict[str, str]] = None,
     ) -> None:
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
         await self._send_raw(
-            writer, status, body, "application/json", close=close
+            writer,
+            status,
+            body,
+            "application/json",
+            close=close,
+            headers=headers,
         )
 
     # -- lifecycle -------------------------------------------------------------
@@ -329,7 +479,11 @@ class CampaignService:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
-        self.queue.close()
+        # Close runs off the event loop thread's executor so a slow
+        # worker join never wedges the loop shutdown.
+        await asyncio.get_running_loop().run_in_executor(
+            None, self.queue.close
+        )
 
 
 class ServiceHandle:
@@ -352,6 +506,9 @@ class ServiceHandle:
         self.base_url = f"http://127.0.0.1:{self.port}"
 
     def close(self, timeout_s: float = 10.0) -> None:
+        drain_thread = self.service._drain_thread
+        if drain_thread is not None and drain_thread.is_alive():
+            drain_thread.join(timeout=timeout_s)
         if self._thread.is_alive():
             future = asyncio.run_coroutine_threadsafe(
                 self._shutdown(), self._loop
@@ -385,6 +542,8 @@ def start_in_thread(
     hot_bytes: int = ShardedResultCache.DEFAULT_HOT_BYTES,
     engine_workers: int = 1,
     host: str = "127.0.0.1",
+    journal: Union[str, JobJournal, None] = None,
+    drain_timeout_s: float = 30.0,
 ) -> ServiceHandle:
     """Start a fully wired service on a daemon thread; returns its handle."""
     service = create_service(
@@ -393,6 +552,8 @@ def start_in_thread(
         workers=workers,
         hot_bytes=hot_bytes,
         engine_workers=engine_workers,
+        journal=journal,
+        drain_timeout_s=drain_timeout_s,
     )
     loop = asyncio.new_event_loop()
     started = threading.Event()

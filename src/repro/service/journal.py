@@ -1,0 +1,374 @@
+"""Write-ahead job journal: the campaign service's crash-survival log.
+
+The paper's device survives arbitrary power failure because every
+commit point is journaled to NVM and restored through a guarded
+fallback chain; this module applies the identical discipline to the
+serving layer. Every job state transition the service must not forget
+— ``submitted``, ``started``, ``requeued``, ``cancelled``,
+``finished`` — is appended to a single JSONL file and flushed
+*before* the transition is acknowledged, so a SIGKILL at any instant
+loses at most the record being written. Records that back an
+external promise (:data:`FSYNC_EVENTS`) are additionally group-
+``fsync``-ed to survive power loss; the rest become durable at the
+next group fsync, trading at worst one idempotent re-run for keeping
+the worker pool off the platter.
+
+Each line carries its own integrity guard, exactly like the device
+checkpoints (CRC-8 guard words) and the result cache (quarantine on
+corrupt entries)::
+
+    <crc32 as 8 hex chars> <compact sorted-key JSON>\\n
+
+Replay at startup is the guarded fallback chain: lines whose CRC or
+JSON fails are *skipped and counted* — a torn final line (the one the
+power cut interrupted) as ``skipped_torn``, anything else as
+``skipped_corrupt`` — and every job whose last surviving event is
+non-terminal is handed back to the queue for re-execution. Because
+campaign results are content-addressed in the shared cache, re-running
+a recovered job is idempotent: it replays from cache where possible
+and recomputes bit-identical bytes where not.
+
+The journal is single-writer by design: one service process owns one
+journal file (appends from multiple worker threads are serialised by
+an internal lock). A restarted server keeps appending to the same
+file; replay folds the whole history, so terminal records written
+before the crash keep their jobs from re-running.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+import time
+import zlib
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "JOURNAL_EVENTS",
+    "PENDING_EVENTS",
+    "TERMINAL_EVENTS",
+    "FSYNC_EVENTS",
+    "DEFAULT_SYNC_WINDOW_S",
+    "JournalStats",
+    "JobJournal",
+    "encode_record",
+    "decode_record",
+]
+
+#: Every event kind the journal accepts, in lifecycle order.
+JOURNAL_EVENTS = ("submitted", "started", "requeued", "cancelled", "finished")
+
+#: A job whose *last* event is one of these is re-enqueued at replay.
+PENDING_EVENTS = ("submitted", "started", "requeued")
+
+#: A job whose last event is one of these stays dead at replay.
+TERMINAL_EVENTS = ("cancelled", "finished")
+
+#: Events that demand platter durability — the records that back a
+#: promise made to the outside world: the 202 admission ack
+#: (``submitted``), the cancellation ack (``cancelled``) and the
+#: drain's nothing-was-dropped guarantee (``requeued``). ``started``
+#: and ``finished`` are deliberately absent: losing one only re-runs
+#: an idempotent job whose results already live in the
+#: content-addressed cache — a few milliseconds of cache replay, not
+#: data loss — so they ride along with the next fsync instead of
+#: forcing their own. Keeping them off the fsync path keeps the
+#: worker pool's throughput at the journal-less rate.
+FSYNC_EVENTS = ("submitted", "requeued", "cancelled")
+
+#: Default group-commit window: how long a promise-backing record may
+#: wait for the background syncer before it is on the platter. Zero
+#: selects strict synchronous mode (every :data:`FSYNC_EVENTS` append
+#: blocks on its own group fsync).
+DEFAULT_SYNC_WINDOW_S = 0.05
+
+_JOB_ID_RE = re.compile(r"^job-(\d+)$")
+
+
+def encode_record(record: Dict[str, object]) -> bytes:
+    """One journal line: CRC32 guard + compact sorted-key JSON + newline."""
+    payload = json.dumps(
+        record, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    crc = zlib.crc32(payload) & 0xFFFFFFFF
+    return b"%08x " % crc + payload + b"\n"
+
+
+def decode_record(line: bytes) -> Dict[str, object]:
+    """Parse one journal line; raises ``ValueError`` on any damage.
+
+    The guard is checked *before* the JSON is parsed, so a flipped bit
+    anywhere in the payload is caught even when the mutation still
+    happens to be valid JSON.
+    """
+    if len(line) < 10 or line[8:9] != b" ":
+        raise ValueError("malformed journal line (no CRC prefix)")
+    try:
+        crc = int(line[:8], 16)
+    except ValueError:
+        raise ValueError("malformed journal line (bad CRC field)") from None
+    payload = line[9:]
+    if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+        raise ValueError("journal line failed its CRC guard")
+    record = json.loads(payload.decode("utf-8"))
+    if (
+        not isinstance(record, dict)
+        or record.get("event") not in JOURNAL_EVENTS
+        or not isinstance(record.get("job"), str)
+    ):
+        raise ValueError("journal line is not a job record")
+    return record
+
+
+@dataclass
+class JournalStats:
+    """Replay and append accounting, surfaced by ``/healthz`` and
+    ``/metrics`` exactly like the cache's quarantine counters."""
+
+    #: Valid records folded during startup replay.
+    replayed: int = 0
+    #: Records appended by this process since startup.
+    appended: int = 0
+    #: Jobs re-enqueued at startup (last event non-terminal).
+    recovered: int = 0
+    #: Jobs whose journal history had already reached a terminal event.
+    completed: int = 0
+    #: Torn final line skipped at replay (the interrupted write).
+    skipped_torn: int = 0
+    #: Any other line that failed its CRC / JSON / schema guard.
+    skipped_corrupt: int = 0
+    #: Pending jobs that could not be re-enqueued (payload no longer
+    #: parses, or the submission record itself was lost to corruption).
+    recover_failed: int = 0
+    #: Group fsyncs performed (each may cover many appended records).
+    synced: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return dict(asdict(self))
+
+
+class JobJournal:
+    """Append-only, CRC-guarded, group-committed JSONL job journal.
+
+    Durability modes (``fsync`` / ``sync_window_s``):
+
+    * ``fsync=True, sync_window_s > 0`` (default) — **windowed group
+      commit**: every append is flushed before it returns (a SIGKILL
+      loses at most the record being written), and a background
+      syncer thread fsyncs at most once per window, so *power* loss
+      can cost at most the last window's records. Promise-backing
+      records are idempotently resubmittable (content-hash dedup), so
+      the window is a bounded, documented tradeoff — not silent loss.
+    * ``fsync=True, sync_window_s=0`` — **strict**: every
+      :data:`FSYNC_EVENTS` append blocks until a group fsync covers
+      it (concurrent appenders share one platter round-trip).
+    * ``fsync=False`` — flush-only (tests, throwaway journals).
+    """
+
+    def __init__(
+        self,
+        path: Union[str, os.PathLike],
+        fsync: bool = True,
+        sync_window_s: float = DEFAULT_SYNC_WINDOW_S,
+    ) -> None:
+        self.path = Path(path)
+        if self.path.exists() and self.path.is_dir():
+            raise ConfigurationError(
+                f"journal path {self.path} is a directory"
+            )
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.fsync = bool(fsync)
+        self.sync_window_s = max(0.0, float(sync_window_s))
+        self.stats = JournalStats()
+        self._lock = threading.Lock()
+        self._handle = open(self.path, "ab")
+        # Group commit: appenders note the write sequence they need
+        # durable; whoever performs an fsync syncs everything written
+        # so far, covering every record behind it.
+        self._fsync_lock = threading.Lock()
+        self._written_seq = 0
+        self._synced_seq = 0
+        self._sync_needed = threading.Event()
+        self._stop = threading.Event()
+        self._syncer: Union[threading.Thread, None] = None
+        if self.fsync and self.sync_window_s > 0:
+            self._syncer = threading.Thread(
+                target=self._sync_loop, name="journal-sync", daemon=True
+            )
+            self._syncer.start()
+
+    # -- writing ---------------------------------------------------------------
+
+    def append(self, event: str, job_id: str, **fields: object) -> None:
+        """Record one job transition (a commit point).
+
+        The line is written and flushed before this returns — a
+        SIGKILL at any later instant cannot lose it. Events in
+        :data:`FSYNC_EVENTS` additionally reach the platter: within
+        :attr:`sync_window_s` via the background syncer (default), or
+        before this returns in strict mode (``sync_window_s=0``).
+        Either way the fsync is a **group commit** — one platter
+        round-trip covers every record written before it. A closed
+        journal ignores appends — shutdown races between worker
+        threads and ``close()`` must not raise.
+        """
+        if event not in JOURNAL_EVENTS:
+            raise ConfigurationError(
+                f"journal event must be one of {JOURNAL_EVENTS}, "
+                f"got {event!r}"
+            )
+        record: Dict[str, object] = {
+            "event": event,
+            "job": str(job_id),
+            "ts": round(time.time(), 6),
+        }
+        record.update(fields)
+        line = encode_record(record)
+        with self._lock:
+            if self._handle is None or self._handle.closed:
+                return
+            self._handle.write(line)
+            self._handle.flush()
+            self.stats.appended += 1
+            self._written_seq += 1
+            my_seq = self._written_seq
+        if not self.fsync or event not in FSYNC_EVENTS:
+            return
+        if self._syncer is not None:
+            self._sync_needed.set()
+            return
+        # Strict mode: wait for a group fsync that covers this record.
+        with self._fsync_lock:
+            if self._synced_seq >= my_seq:
+                return  # a later appender's fsync already covered us
+            self._fsync_once()
+
+    def _fsync_once(self) -> None:
+        """One group fsync (caller holds ``_fsync_lock``)."""
+        with self._lock:
+            if self._handle is None or self._handle.closed:
+                return
+            fileno = self._handle.fileno()
+            target = self._written_seq
+        try:
+            os.fsync(fileno)
+        except OSError:  # closed under us mid-shutdown
+            return
+        self._synced_seq = max(self._synced_seq, target)
+        self.stats.synced += 1
+
+    def _sync_loop(self) -> None:
+        """Background group commit: at most one fsync per window."""
+        while True:
+            self._sync_needed.wait()
+            if self._stop.is_set():
+                return
+            self._sync_needed.clear()
+            with self._fsync_lock:
+                self._fsync_once()
+            # Rate limit: whatever lands during this wait shares the
+            # next fsync instead of forcing its own.
+            if self._stop.wait(self.sync_window_s):
+                return
+
+    def close(self) -> None:
+        """Make every flushed record durable, then close the file."""
+        if self._syncer is not None:
+            self._stop.set()
+            self._sync_needed.set()  # wake a waiting sync loop
+            self._syncer.join(timeout=5.0)
+            self._syncer = None
+        with self._lock:
+            if self._handle is not None and not self._handle.closed:
+                if self.fsync:
+                    try:
+                        os.fsync(self._handle.fileno())
+                    except OSError:  # pragma: no cover - exotic fs
+                        pass
+                self._handle.close()
+
+    def __enter__(self) -> "JobJournal":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- replay ----------------------------------------------------------------
+
+    def replay(self) -> Tuple[List[Dict[str, object]], int]:
+        """Fold the journal into its pending jobs.
+
+        Returns ``(pending, max_ordinal)``: the submission records of
+        every job whose last surviving event is non-terminal (in
+        submission order, each carrying the original ``payload`` and
+        ``signature``), and the highest numeric job ordinal seen
+        anywhere in the journal so a restarted queue never reuses an
+        id. Damaged lines are skipped and counted in :attr:`stats`;
+        non-terminal events whose submission record was itself lost
+        count as ``recover_failed`` — the fallback chain ran out, the
+        same way a checkpoint with no valid predecessor does.
+        """
+        try:
+            blob = self.path.read_bytes()
+        except FileNotFoundError:
+            return [], 0
+        if not blob:
+            return [], 0
+        torn_tail = not blob.endswith(b"\n")
+        lines = blob.split(b"\n")
+        if lines and lines[-1] == b"":
+            lines.pop()
+        pending: Dict[str, Dict[str, object]] = {}
+        orphaned: set = set()
+        terminal: set = set()
+        max_ordinal = 0
+        for i, line in enumerate(lines):
+            if not line:
+                self.stats.skipped_corrupt += 1
+                continue
+            try:
+                record = decode_record(line)
+            except ValueError:
+                if torn_tail and i == len(lines) - 1:
+                    self.stats.skipped_torn += 1
+                else:
+                    self.stats.skipped_corrupt += 1
+                continue
+            self.stats.replayed += 1
+            job_id = str(record["job"])
+            match = _JOB_ID_RE.match(job_id)
+            if match:
+                max_ordinal = max(max_ordinal, int(match.group(1)))
+            event = record["event"]
+            if event == "submitted":
+                if job_id not in terminal:
+                    pending[job_id] = record
+                orphaned.discard(job_id)
+            elif event in TERMINAL_EVENTS:
+                pending.pop(job_id, None)
+                orphaned.discard(job_id)
+                if job_id not in terminal:
+                    terminal.add(job_id)
+                    self.stats.completed += 1
+            else:  # started / requeued keep the job pending
+                if job_id not in pending and job_id not in terminal:
+                    # Non-terminal event but the submission record is
+                    # gone (skipped as corrupt): unrecoverable.
+                    orphaned.add(job_id)
+        self.stats.recover_failed += len(orphaned)
+        out: List[Dict[str, object]] = []
+        for job_id, record in pending.items():
+            if not isinstance(record.get("payload"), dict) or not isinstance(
+                record.get("signature"), str
+            ):
+                self.stats.recover_failed += 1
+                continue
+            out.append(record)
+        out.sort(key=lambda record: str(record["job"]))
+        return out, max_ordinal

@@ -31,6 +31,7 @@ import base64
 import dataclasses
 import hashlib
 import json
+import random
 import threading
 import time
 import urllib.error
@@ -63,6 +64,8 @@ __all__ = [
     "http_results",
     "http_cache_info",
     "http_health",
+    "http_metrics",
+    "RETRYABLE_STATUSES",
 ]
 
 CAMPAIGN_KINDS = ("grid", "executive", "resilience", "fleet")
@@ -348,7 +351,17 @@ def summarize_reports(
 #
 # The environment has no third-party HTTP client; urllib is entirely
 # sufficient for the service's JSON + JSONL surface, and using it here
-# keeps the CLI, tests and benchmark on one code path.
+# keeps the CLI, tests and benchmark on one code path. The helpers are
+# *hardened*: connection errors (a server mid-restart) and 503s (a
+# draining or saturated queue) retry with jittered exponential
+# backoff, honouring any ``Retry-After`` the server sent — safe
+# because submissions are idempotent on their content hash.
+
+#: HTTP statuses the retrying client treats as transient.
+RETRYABLE_STATUSES = (503,)
+
+#: Upper bound on any single backoff sleep.
+MAX_BACKOFF_S = 10.0
 
 
 def _request(
@@ -356,7 +369,7 @@ def _request(
     url: str,
     payload: Optional[Dict[str, object]] = None,
     timeout: float = 30.0,
-) -> Tuple[int, bytes]:
+) -> Tuple[int, bytes, Dict[str, str]]:
     data = None
     headers = {"Accept": "application/json"}
     if payload is not None:
@@ -367,9 +380,76 @@ def _request(
     )
     try:
         with urllib.request.urlopen(request, timeout=timeout) as response:
-            return response.status, response.read()
+            return (
+                response.status,
+                response.read(),
+                {k.lower(): v for k, v in response.headers.items()},
+            )
     except urllib.error.HTTPError as exc:
-        return exc.code, exc.read()
+        return (
+            exc.code,
+            exc.read(),
+            {k.lower(): v for k, v in (exc.headers or {}).items()},
+        )
+
+
+def _backoff_delay(
+    attempt: int,
+    backoff_s: float,
+    retry_after: Optional[str],
+    rng: "random.Random",
+) -> float:
+    """One jittered exponential delay, floored by the server's hint."""
+    base = min(backoff_s * (2 ** attempt), MAX_BACKOFF_S)
+    if retry_after:
+        try:
+            base = max(base, min(float(retry_after), MAX_BACKOFF_S))
+        except ValueError:
+            pass
+    # Full jitter on [base/2, base]: desynchronises a client storm
+    # without ever collapsing the wait to ~zero.
+    return base * (0.5 + 0.5 * rng.random())
+
+
+def _retrying_request(
+    method: str,
+    url: str,
+    payload: Optional[Dict[str, object]] = None,
+    timeout: float = 30.0,
+    retries: int = 0,
+    backoff_s: float = 0.25,
+    rng: Optional["random.Random"] = None,
+) -> Tuple[int, bytes, Dict[str, str]]:
+    """`_request` with bounded retries on connection errors and 503.
+
+    A connection-level failure (refused / reset / timed out — the
+    signature of a server being SIGKILLed and restarted under the
+    client) or a retryable status consumes one retry and backs off;
+    anything else returns (or raises) immediately. With ``retries=0``
+    this is exactly ``_request``.
+    """
+    rng = rng if rng is not None else random.Random()
+    attempt = 0
+    while True:
+        try:
+            status, body, headers = _request(
+                method, url, payload, timeout=timeout
+            )
+        except (urllib.error.URLError, ConnectionError, TimeoutError, OSError):
+            if attempt >= retries:
+                raise
+            time.sleep(_backoff_delay(attempt, backoff_s, None, rng))
+            attempt += 1
+            continue
+        if status in RETRYABLE_STATUSES and attempt < retries:
+            time.sleep(
+                _backoff_delay(
+                    attempt, backoff_s, headers.get("retry-after"), rng
+                )
+            )
+            attempt += 1
+            continue
+        return status, body, headers
 
 
 def _json_or_error(status: int, body: bytes, what: str) -> Dict[str, object]:
@@ -387,11 +467,27 @@ def _json_or_error(status: int, body: bytes, what: str) -> Dict[str, object]:
 
 
 def http_submit(
-    base_url: str, payload: Dict[str, object], timeout: float = 30.0
+    base_url: str,
+    payload: Dict[str, object],
+    timeout: float = 30.0,
+    retries: int = 0,
+    backoff_s: float = 0.25,
 ) -> Dict[str, object]:
-    """POST a campaign; returns the job status object (raises on 4xx/5xx)."""
-    status, body = _request(
-        "POST", f"{base_url}/jobs", payload, timeout=timeout
+    """POST a campaign; returns the job status object (raises on 4xx/5xx).
+
+    With ``retries > 0`` connection errors and 503s back off and
+    retry; resubmission is safe because the service deduplicates
+    active jobs on the campaign's content hash, so a retry after a
+    crashed server recovers lands on the journaled job, never a
+    duplicate.
+    """
+    status, body, _ = _retrying_request(
+        "POST",
+        f"{base_url}/jobs",
+        payload,
+        timeout=timeout,
+        retries=retries,
+        backoff_s=backoff_s,
     )
     return _json_or_error(status, body, "submit")
 
@@ -401,18 +497,27 @@ def http_wait(
     job_id: str,
     timeout: float = 60.0,
     poll_s: float = 0.05,
+    retries: int = 0,
+    backoff_s: float = 0.25,
 ) -> Dict[str, object]:
-    """Poll ``GET /jobs/<id>`` until the job leaves queued/running."""
+    """Poll ``GET /jobs/<id>`` until the job leaves queued/running.
+
+    ``retries`` bounds back-to-back connection failures (a server
+    restarting under the poll); the budget refills after any
+    successful response.
+    """
     deadline = time.monotonic() + timeout
     while True:
         remaining = deadline - time.monotonic()
         if remaining <= 0:
             raise TimeoutError(f"job {job_id} still pending after {timeout}s")
         wait_s = min(max(remaining, 0.01), 10.0)
-        status, body = _request(
+        status, body, _ = _retrying_request(
             "GET",
             f"{base_url}/jobs/{job_id}?wait={wait_s:g}",
             timeout=wait_s + 10.0,
+            retries=retries,
+            backoff_s=backoff_s,
         )
         job = _json_or_error(status, body, f"poll {job_id}")
         if job.get("status") not in ("queued", "running"):
@@ -421,11 +526,19 @@ def http_wait(
 
 
 def http_results(
-    base_url: str, job_id: str, timeout: float = 60.0
+    base_url: str,
+    job_id: str,
+    timeout: float = 60.0,
+    retries: int = 0,
+    backoff_s: float = 0.25,
 ) -> List[Dict[str, object]]:
     """Fetch and parse a finished job's streamed JSONL result lines."""
-    status, body = _request(
-        "GET", f"{base_url}/jobs/{job_id}/results", timeout=timeout
+    status, body, _ = _retrying_request(
+        "GET",
+        f"{base_url}/jobs/{job_id}/results",
+        timeout=timeout,
+        retries=retries,
+        backoff_s=backoff_s,
     )
     if status >= 400:
         _json_or_error(status, body, f"results {job_id}")
@@ -435,11 +548,23 @@ def http_results(
 
 def http_cache_info(base_url: str, timeout: float = 30.0) -> Dict[str, object]:
     """Fetch the service's shared-cache info (``GET /cache``)."""
-    status, body = _request("GET", f"{base_url}/cache", timeout=timeout)
+    status, body, _ = _request("GET", f"{base_url}/cache", timeout=timeout)
     return _json_or_error(status, body, "cache info")
 
 
-def http_health(base_url: str, timeout: float = 10.0) -> Dict[str, object]:
+def http_health(
+    base_url: str, timeout: float = 10.0, retries: int = 0
+) -> Dict[str, object]:
     """``GET /healthz``."""
-    status, body = _request("GET", f"{base_url}/healthz", timeout=timeout)
+    status, body, _ = _retrying_request(
+        "GET", f"{base_url}/healthz", timeout=timeout, retries=retries
+    )
     return _json_or_error(status, body, "health")
+
+
+def http_metrics(base_url: str, timeout: float = 10.0) -> str:
+    """``GET /metrics`` — the Prometheus text document."""
+    status, body, _ = _request("GET", f"{base_url}/metrics", timeout=timeout)
+    if status >= 400:
+        raise RuntimeError(f"metrics: HTTP {status}: {body[:200]!r}")
+    return body.decode("utf-8")

@@ -15,6 +15,8 @@ sharing invariants that make a shared cache worth having:
 """
 
 import base64
+import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 
 import pytest
@@ -23,6 +25,7 @@ from repro.analysis import engine, faults, telemetry
 from repro.analysis.engine import GridSpec, fixed_entry_bytes, run_grid
 from repro.service import (
     http_cache_info,
+    http_health,
     http_results,
     http_submit,
     http_wait,
@@ -46,6 +49,14 @@ def _fresh_engine():
     engine.reset()
 
 
+def _leaked_workers():
+    return [
+        thread.name
+        for thread in threading.enumerate()
+        if thread.name.startswith("campaign-worker") and thread.is_alive()
+    ]
+
+
 @pytest.fixture
 def service(tmp_path):
     handle = start_in_thread(
@@ -55,6 +66,8 @@ def service(tmp_path):
         yield handle
     finally:
         handle.close()
+        # close() joins the worker pool; nothing may outlive it.
+        assert _leaked_workers() == []
 
 
 def _grid_payload(bits, profile_ids=(1,)):
@@ -298,3 +311,24 @@ def test_queued_job_cancels_immediately(tmp_path):
         )
     finally:
         handle.close()
+
+
+def test_close_mid_job_cancels_and_joins_workers(tmp_path):
+    """close() must not abandon daemon threads mid-job: it cancels the
+    running campaign through the engine's cancel scope and joins every
+    worker before returning."""
+    handle = start_in_thread(tmp_path / "midjob", capacity=8, workers=2)
+    running = http_submit(handle.base_url, _slow_payload())
+    queued = http_submit(handle.base_url, _grid_payload(bits=(3,)))
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        if http_health(handle.base_url)["jobs_by_state"]["running"]:
+            break
+        time.sleep(0.01)
+    handle.close()
+    assert _leaked_workers() == []
+    # Neither job was left in an active state by the shutdown.
+    for job in (running, queued):
+        doc = handle.service.queue.get(job["id"])
+        assert doc is not None
+        assert doc.status in ("done", "cancelled")
