@@ -22,6 +22,12 @@ Usage (also via ``python -m repro``):
     repro-experiments trace summary trace.json        # top energy consumers + outages
     repro-experiments serve --cache-dir .cache --port 8787  # campaign service
     repro-experiments submit --url http://127.0.0.1:8787 --file campaign.json
+    repro-experiments runtable --file campaign.json --output run_table.csv
+    repro-experiments runtable --file campaign.json --reps 8  # seeded sweep
+    repro-experiments stats --table run_table.csv --metric total_progress \
+        --slice-a policy=precise --slice-b policy=linear
+    repro-experiments bench-history --root . --output history.csv
+    repro-experiments bench-history --baseline /tmp/base --tolerance 0.1
 
 ``--trace-out`` records a device-level trace of every *computed* task
 (cache hits carry no trace) as Chrome trace-event JSON — load it in
@@ -79,6 +85,7 @@ EXPERIMENT_RUNNERS: Dict[str, Callable[[], "E.ExperimentResult"]] = {
     "sec7": E.sec7_frame_rates,
     "resilience": E.resilience_campaign,
     "fleet": E.fleet_campaign,
+    "runtable": E.runtable_stats,
 }
 
 
@@ -474,17 +481,204 @@ def _cmd_report(log: str, limit: int) -> int:
     for event in runs:
         merged.merge_dict(event.get("device_metrics") or {})
     if not merged.is_empty():
-        rows = [
-            (name, round(float(value), 3))
-            for name, value in sorted(merged.counters.items())
-        ]
-        rows.extend(
-            (f"{name} (mean)", round(hist.mean, 3))
-            for name, hist in sorted(merged.histograms.items())
-        )
         print()
-        print(format_table(("device metric", "value"), rows))
+        print(
+            format_table(("device metric", "value"), _device_metric_rows(merged))
+        )
     return 0
+
+
+def _device_metric_rows(merged) -> List[tuple]:
+    """One sorted ``(label, value)`` row per device metric.
+
+    Counters, gauges and histogram means collate into a single list
+    sorted by label, so the table's order is deterministic regardless
+    of the registry's insertion order and the report diffs cleanly
+    against run-table exports.
+    """
+    rows = [
+        (name, round(float(value), 3))
+        for name, value in merged.counters.items()
+    ]
+    rows.extend(
+        (f"{name} (gauge)", round(float(value), 3))
+        for name, value in merged.gauges.items()
+    )
+    rows.extend(
+        (f"{name} (mean)", round(hist.mean, 3))
+        for name, hist in merged.histograms.items()
+    )
+    rows.sort(key=lambda row: row[0])
+    return rows
+
+
+def _load_campaign_file(path: str, command: str):
+    """Parse a campaign JSON file ('-' reads stdin) or return None."""
+    from .service.protocol import parse_campaign
+
+    try:
+        if path == "-":
+            payload = json.load(sys.stdin)
+        else:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        return parse_campaign(payload)
+    except (OSError, json.JSONDecodeError, ConfigurationError) as exc:
+        print(f"repro-experiments {command}: error: {exc}", file=sys.stderr)
+        return None
+
+
+def _cmd_runtable(args: "argparse.Namespace") -> int:
+    """Run a campaign file and write its canonical run table."""
+    from .analysis import runtable as runtable_mod
+    from .analysis import stats as stats_mod
+
+    campaign = _load_campaign_file(args.file, "runtable")
+    if campaign is None:
+        return 2
+    try:
+        if args.reps > 1:
+            kind = {"grid": "fixed"}.get(campaign.kind, campaign.kind)
+            table = stats_mod.repetition_sweep(
+                kind,
+                campaign.tasks,
+                n_reps=args.reps,
+                base_seed=args.rep_seed,
+                engine=campaign.engine,
+                job=args.job,
+            )
+        else:
+            table = runtable_mod.run_table_for_campaign(
+                campaign, job=args.job
+            )
+    except (ConfigurationError, EngineExecutionError) as exc:
+        print(f"repro-experiments runtable: error: {exc}", file=sys.stderr)
+        return 1
+    blob = table.to_csv_bytes()
+    if args.output == "-":
+        sys.stdout.write(blob.decode("utf-8"))
+        return 0
+    try:
+        with open(args.output, "wb") as handle:
+            handle.write(blob)
+    except OSError as exc:
+        print(f"repro-experiments runtable: error: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"wrote {args.output}: {len(table)} row(s), {len(blob)} bytes "
+        f"(schema v{runtable_mod.SCHEMA_VERSION})"
+    )
+    return 0
+
+
+def _cmd_stats(args: "argparse.Namespace") -> int:
+    """Compare a run-table metric between two config slices."""
+    from .analysis import runtable as runtable_mod
+    from .analysis import stats as stats_mod
+
+    try:
+        rows = runtable_mod.read_run_table(args.table)
+        comparison = stats_mod.compare_slices(
+            rows,
+            args.metric,
+            stats_mod.parse_slice_spec(args.slice_a),
+            stats_mod.parse_slice_spec(args.slice_b),
+            seed=args.seed,
+            n_boot=args.boot,
+            alpha=args.alpha,
+        )
+    except (OSError, ConfigurationError, ValueError) as exc:
+        print(f"repro-experiments stats: error: {exc}", file=sys.stderr)
+        return 2
+    slice_table = [
+        (
+            label,
+            side["n"],
+            round(side["mean"], 6),
+            round(side["ci_lo"], 6),
+            round(side["ci_hi"], 6),
+        )
+        for label, side in (
+            (args.slice_a, comparison["a"]),
+            (args.slice_b, comparison["b"]),
+        )
+    ]
+    print(
+        format_table(
+            ("slice", "n", f"mean {args.metric}", "ci_lo", "ci_hi"),
+            slice_table,
+        )
+    )
+    mw = comparison["mann_whitney"]
+    delta = comparison["cliffs_delta"]
+    print()
+    print(
+        format_table(
+            ("statistic", "value"),
+            [
+                ("mann-whitney U", round(mw["u"], 3)),
+                ("z", round(mw["z"], 4)),
+                ("p-value (two-sided)", round(mw["p_value"], 6)),
+                ("cliff's delta", round(delta["delta"], 4)),
+                ("effect magnitude", delta["magnitude"]),
+            ],
+        )
+    )
+    return 0
+
+
+def _cmd_bench_history(args: "argparse.Namespace") -> int:
+    """Fold BENCH_*.json files into the trajectory table; gate drift."""
+    from .analysis import trajectory
+
+    try:
+        current = trajectory.bench_rows(args.root)
+    except ConfigurationError as exc:
+        print(f"repro-experiments bench-history: error: {exc}", file=sys.stderr)
+        return 2
+    if not current:
+        print(
+            f"repro-experiments bench-history: error: no BENCH_*.json "
+            f"under {args.root}",
+            file=sys.stderr,
+        )
+        return 2
+    blob = trajectory.history_csv_bytes(current)
+    if args.output == "-":
+        sys.stdout.write(blob.decode("utf-8"))
+    elif args.output is not None:
+        try:
+            with open(args.output, "wb") as handle:
+                handle.write(blob)
+        except OSError as exc:
+            print(
+                f"repro-experiments bench-history: error: {exc}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"wrote {args.output}: {len(current)} trajectory row(s)")
+    else:
+        gated = sum(
+            1
+            for row in current
+            if trajectory.metric_direction(str(row["metric"]))
+        )
+        print(
+            f"{len(current)} trajectory row(s) from {args.root} "
+            f"({gated} gated)"
+        )
+    if args.baseline is None:
+        return 0
+    try:
+        baseline = trajectory.bench_rows(args.baseline)
+        regressions = trajectory.check_regressions(
+            baseline, current, tolerance=args.tolerance
+        )
+    except ConfigurationError as exc:
+        print(f"repro-experiments bench-history: error: {exc}", file=sys.stderr)
+        return 2
+    print(trajectory.format_regressions(regressions))
+    return 1 if regressions else 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -780,6 +974,128 @@ def main(argv: Optional[List[str]] = None) -> int:
             "honors Retry-After (default: 3)"
         ),
     )
+    runtable_p = sub.add_parser(
+        "runtable",
+        help="run a campaign file and write its canonical run_table.csv",
+    )
+    runtable_p.add_argument(
+        "--file",
+        required=True,
+        metavar="PATH",
+        help="campaign JSON file ('-' reads stdin; same schema as 'submit')",
+    )
+    runtable_p.add_argument(
+        "--output",
+        default="run_table.csv",
+        metavar="PATH",
+        help="canonical CSV destination ('-' prints; default: run_table.csv)",
+    )
+    runtable_p.add_argument(
+        "--job",
+        default="",
+        metavar="LABEL",
+        help=(
+            "value for the job provenance column (pass a service job id "
+            "to reproduce that job's streamed table byte-for-byte)"
+        ),
+    )
+    runtable_p.add_argument(
+        "--reps",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "seeded harvester-trace repetitions per task (grid/executive "
+            "campaigns only; default: 1)"
+        ),
+    )
+    runtable_p.add_argument(
+        "--rep-seed",
+        type=int,
+        default=0,
+        metavar="SEED",
+        help="base seed the repetition trace seeds derive from (default: 0)",
+    )
+    add_engine_args(runtable_p)
+    stats_p = sub.add_parser(
+        "stats",
+        help="bootstrap CIs + Mann-Whitney/Cliff's delta between table slices",
+    )
+    stats_p.add_argument(
+        "--table",
+        required=True,
+        metavar="PATH",
+        help="a canonical run_table.csv (see 'runtable')",
+    )
+    stats_p.add_argument(
+        "--metric",
+        required=True,
+        metavar="COLUMN",
+        help="outcome column to compare, e.g. total_progress",
+    )
+    stats_p.add_argument(
+        "--slice-a",
+        required=True,
+        metavar="COL=VAL[,COL=VAL...]",
+        help="filter selecting sample A, e.g. policy=precise,bits=8",
+    )
+    stats_p.add_argument(
+        "--slice-b",
+        required=True,
+        metavar="COL=VAL[,COL=VAL...]",
+        help="filter selecting sample B",
+    )
+    stats_p.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="bootstrap seed; identical seeds reproduce identical CIs",
+    )
+    stats_p.add_argument(
+        "--boot",
+        type=int,
+        default=2000,
+        metavar="N",
+        help="bootstrap resamples (default: 2000)",
+    )
+    stats_p.add_argument(
+        "--alpha",
+        type=float,
+        default=0.05,
+        help="two-sided CI significance level (default: 0.05)",
+    )
+    bench_hist = sub.add_parser(
+        "bench-history",
+        help="fold BENCH_*.json snapshots into the perf-trajectory table",
+    )
+    bench_hist.add_argument(
+        "--root",
+        default=".",
+        metavar="DIR",
+        help="directory holding the current BENCH_*.json files (default: .)",
+    )
+    bench_hist.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write the long-format trajectory CSV here ('-' prints)",
+    )
+    bench_hist.add_argument(
+        "--baseline",
+        default=None,
+        metavar="DIR",
+        help=(
+            "gate against the BENCH_*.json files in this directory; "
+            "exit 1 when a gated metric regresses beyond --tolerance"
+        ),
+    )
+    bench_hist.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.1,
+        metavar="FRACTION",
+        help="allowed relative drift for gated metrics (default: 0.1)",
+    )
     trace = sub.add_parser(
         "trace", help="inspect a recorded device trace"
     )
@@ -804,7 +1120,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
-    if args.command in ("run", "resilience"):
+    if args.command in ("run", "resilience", "runtable"):
         try:
             engine.configure(
                 workers=args.workers,
@@ -831,6 +1147,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         try:
             if args.command == "resilience":
                 rc = _cmd_resilience(args)
+            elif args.command == "runtable":
+                rc = _cmd_runtable(args)
             else:
                 rc = _cmd_run(args.artifacts)
         finally:
@@ -861,6 +1179,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_cache(args.action, args.cache_dir)
     if args.command == "report":
         return _cmd_report(args.log, args.limit)
+    if args.command == "stats":
+        return _cmd_stats(args)
+    if args.command == "bench-history":
+        return _cmd_bench_history(args)
     return _cmd_calibration()
 
 

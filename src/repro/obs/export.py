@@ -336,22 +336,51 @@ def _prometheus_value(value: float) -> str:
     return repr(number)
 
 
-def render_prometheus(registry, prefix: str = "repro") -> str:
+def _prometheus_help(raw_name: str, kind: str,
+                     help_texts: Optional[Mapping[str, str]]) -> str:
+    if help_texts and raw_name in help_texts:
+        text = help_texts[raw_name]
+    else:
+        text = f"{kind} '{raw_name}' from the repro metrics registry."
+    # Exposition-format escaping for HELP text: backslash and newline.
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def render_prometheus(
+    registry,
+    prefix: str = "repro",
+    help_texts: Optional[Mapping[str, str]] = None,
+) -> str:
     """Render a :class:`~repro.obs.metrics.MetricsRegistry` in
-    Prometheus text format (deterministic: sorted families)."""
+    Prometheus text format (deterministic: sorted families).
+
+    Every family gets a ``# HELP`` line ahead of its ``# TYPE``;
+    ``help_texts`` overrides the default description per raw metric
+    name. Histograms expose the full exposition shape: cumulative
+    ``_bucket{le=...}`` series plus ``_sum`` and ``_count``.
+    """
     lines: List[str] = []
     for name, value in sorted(registry.counters.items()):
         family = _prometheus_name(name, prefix)
         if not family.endswith("_total"):
             family += "_total"
+        lines.append(
+            f"# HELP {family} {_prometheus_help(name, 'counter', help_texts)}"
+        )
         lines.append(f"# TYPE {family} counter")
         lines.append(f"{family} {_prometheus_value(value)}")
     for name, value in sorted(registry.gauges.items()):
         family = _prometheus_name(name, prefix)
+        lines.append(
+            f"# HELP {family} {_prometheus_help(name, 'gauge', help_texts)}"
+        )
         lines.append(f"# TYPE {family} gauge")
         lines.append(f"{family} {_prometheus_value(value)}")
     for name, hist in sorted(registry.histograms.items()):
         family = _prometheus_name(name, prefix)
+        lines.append(
+            f"# HELP {family} {_prometheus_help(name, 'histogram', help_texts)}"
+        )
         lines.append(f"# TYPE {family} histogram")
         cumulative = 0
         for bound, count in zip(hist.bounds, hist.counts):

@@ -126,6 +126,11 @@ class CampaignService:
         self._drain_lock = threading.Lock()
         self._drain_thread: Optional[threading.Thread] = None
         self._drain_summary: Dict[str, int] = {}
+        # Run-table endpoint accounting, surfaced through /metrics.
+        self._runtable_lock = threading.Lock()
+        self._runtable_requests = 0
+        self._runtable_rows = 0
+        self._runtable_bytes = 0
 
     # -- drain -----------------------------------------------------------------
 
@@ -368,6 +373,47 @@ class CampaignService:
                     )
                 blob = ("\n".join(job.result_lines) + "\n").encode("utf-8")
                 return 200, {}, blob, None
+            if tail == "runtable.csv" and method == "GET":
+                if job.status != "done":
+                    return (
+                        409,
+                        {
+                            "error": (
+                                f"job {job_id} is {job.status}, not done"
+                            ),
+                            "status": job.status,
+                        },
+                        None,
+                        None,
+                    )
+                blob = job.runtable_csv
+                if blob is None:
+                    try:
+                        # Decoding payloads and replaying quality is CPU
+                        # work — keep it off the event loop. Concurrent
+                        # first requests may build twice; the bytes are
+                        # identical, so last-write-wins is harmless.
+                        blob = await asyncio.get_running_loop().run_in_executor(
+                            None, self._build_runtable, job
+                        )
+                    except Exception as exc:  # pragma: no cover - defensive
+                        return (
+                            500,
+                            {"error": f"run table build failed: {exc}"},
+                            None,
+                            None,
+                        )
+                n_rows = blob.count(b"\n") - 1
+                with self._runtable_lock:
+                    self._runtable_requests += 1
+                    self._runtable_rows += n_rows
+                    self._runtable_bytes += len(blob)
+                return (
+                    200,
+                    {},
+                    blob,
+                    {"Content-Type": "text/csv; charset=utf-8"},
+                )
 
         if path in ("/healthz", "/metrics", "/cache", "/jobs") or (
             path.startswith("/jobs/")
@@ -400,7 +446,27 @@ class CampaignService:
         if self.journal is not None:
             for name, value in self.journal.stats.to_dict().items():
                 registry.inc(f"journal.{name}", value)
+        with self._runtable_lock:
+            registry.inc("service.runtable.requests", self._runtable_requests)
+            registry.inc("service.runtable.rows", self._runtable_rows)
+            registry.inc("service.runtable.bytes", self._runtable_bytes)
         return render_prometheus(registry)
+
+    def _build_runtable(self, job) -> bytes:
+        """Build (and memoise) one job's canonical run-table CSV.
+
+        The bytes derive purely from the campaign's task list and the
+        bit-exact result payloads already streamed in
+        ``job.result_lines``, so they equal what the offline writer
+        produces for the same campaign with ``job=<job id>``.
+        """
+        from ..analysis.runtable import run_table_from_result_lines
+
+        blob = run_table_from_result_lines(
+            job.campaign, job.result_lines, job=job.id
+        ).to_csv_bytes()
+        job.runtable_csv = blob
+        return blob
 
     # -- response writing ------------------------------------------------------
 

@@ -100,6 +100,10 @@ class Job:
     summary: Dict[str, object] = field(default_factory=dict)
     #: Aggregated per-job run telemetry (computed / cache_hits / ...).
     telemetry: Dict[str, object] = field(default_factory=dict)
+    #: Memoised canonical run-table CSV (built on first request; the
+    #: bytes are a pure function of the campaign + result payloads, so
+    #: caching them is safe and keeps streaming overhead low).
+    runtable_csv: Optional[bytes] = None
     cancel_event: threading.Event = field(default_factory=threading.Event)
     done_event: threading.Event = field(default_factory=threading.Event)
 
